@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction harnesses.
+ *
+ * Each bench/figNN_* binary regenerates one table or figure of the
+ * paper: same rows/series, our measured values. Scales are sized so
+ * the full bench sweep completes in
+ * minutes on one core; MORPH_SIM_ACCESSES / MORPH_SIM_WARMUP /
+ * MORPH_SIM_SCALE raise fidelity when you have the time.
+ *
+ * Two preset scales:
+ *  - perfOptions(): timed runs for the IPC/traffic/energy figures.
+ *    Footprints divided by 8 so counters reach steady state while
+ *    metadata still dwarfs the 128 KB cache.
+ *  - overflowOptions(): traffic-only runs for the overflow-rate
+ *    figures. Footprints divided by 32 to reach counter steady state
+ *    within the access budget (the paper instead warms counters for
+ *    25 B instructions).
+ */
+
+#ifndef MORPH_BENCH_BENCH_COMMON_HH
+#define MORPH_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace morph
+{
+namespace bench
+{
+
+inline double
+envScale(double fallback)
+{
+    if (const char *env = std::getenv("MORPH_SIM_SCALE")) {
+        const double v = std::atof(env);
+        if (v >= 1.0)
+            return v;
+    }
+    return fallback;
+}
+
+/** Timed-simulation preset (Figs 5, 15, 16, 18, 19, 20). */
+inline SimOptions
+perfOptions()
+{
+    SimOptions options;
+    options.accessesPerCore = 400'000;
+    options.warmupPerCore = 200'000;
+    options.timing = true;
+    options.footprintScale = envScale(8.0);
+    return SimOptions::fromEnv(options);
+}
+
+/** Traffic-only preset (Figs 7, 11, 14). */
+inline SimOptions
+overflowOptions()
+{
+    SimOptions options;
+    options.accessesPerCore = 1'000'000;
+    options.warmupPerCore = 500'000;
+    options.timing = false;
+    options.footprintScale = envScale(32.0);
+    return SimOptions::fromEnv(options);
+}
+
+/** Secure-memory configuration for a tree config at paper defaults. */
+inline SecureModelConfig
+modelConfig(TreeConfig tree)
+{
+    SecureModelConfig config;
+    config.tree = std::move(tree);
+    return config;
+}
+
+/** Print the standard figure header. */
+inline void
+banner(const char *figure, const char *caption)
+{
+    std::printf("==================================================="
+                "=========================\n");
+    std::printf("%s — %s\n", figure, caption);
+    std::printf("===================================================="
+                "========================\n");
+}
+
+/** Geometric-mean helper over a result metric. */
+template <typename Fn>
+double
+geomeanOf(const std::vector<SimResult> &results, Fn &&metric)
+{
+    std::vector<double> values;
+    values.reserve(results.size());
+    for (const auto &r : results)
+        values.push_back(metric(r));
+    return geomean(values);
+}
+
+} // namespace bench
+} // namespace morph
+
+#endif // MORPH_BENCH_BENCH_COMMON_HH

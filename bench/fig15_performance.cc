@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces paper Fig 15 — the headline result: IPC of VAULT, SC-64
+ * and MorphCtr-128 across the 28 evaluation workloads, normalized to
+ * SC-64.
+ *
+ * Expected shape: MorphCtr-128 above 1.0 (paper: +6.3% average, up to
+ * +28%), VAULT below 1.0 (paper: -6.4%), with the largest MorphCtr
+ * gains on random-access workloads (mcf, omnetpp, GAP-twitter) and
+ * parity on streaming ones (libquantum, gcc).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace morph;
+    using namespace morph::bench;
+
+    banner("Fig 15", "normalized performance (IPC): VAULT / SC-64 / "
+                     "MorphCtr-128");
+
+    const SimOptions options = perfOptions();
+
+    std::printf("%-12s %10s %10s %14s %14s\n", "workload", "VAULT",
+                "SC-64", "MorphCtr-128", "(SC-64 IPC)");
+    std::vector<double> vault_norm, morph_norm;
+    for (const std::string &name : evaluationWorkloads()) {
+        const SimResult vault =
+            runByName(name, modelConfig(TreeConfig::vault()), options);
+        const SimResult sc64 =
+            runByName(name, modelConfig(TreeConfig::sc64()), options);
+        const SimResult morphr =
+            runByName(name, modelConfig(TreeConfig::morph()), options);
+
+        const double v = vault.ipc / sc64.ipc;
+        const double m = morphr.ipc / sc64.ipc;
+        vault_norm.push_back(v);
+        morph_norm.push_back(m);
+        std::printf("%-12s %10.3f %10.3f %14.3f %14.3f\n",
+                    name.c_str(), v, 1.0, m, sc64.ipc);
+    }
+
+    const double v_gmean = geomean(vault_norm);
+    const double m_gmean = geomean(morph_norm);
+    std::printf("%-12s %10.3f %10.3f %14.3f\n", "GMEAN", v_gmean, 1.0,
+                m_gmean);
+    std::printf("\nMorphCtr-128 speedup over SC-64: %+.1f%%  [paper: "
+                "+6.3%% avg, up to +28.3%%]\n",
+                (m_gmean - 1.0) * 100);
+    std::printf("VAULT slowdown vs SC-64:        %+.1f%%  [paper: "
+                "-6.4%%]\n",
+                (v_gmean - 1.0) * 100);
+    std::printf("MorphCtr-128 speedup over VAULT: %+.1f%%  [paper: "
+                "+13.5%% avg, up to +47.4%%]\n",
+                (m_gmean / v_gmean - 1.0) * 100);
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces paper Fig 19: sensitivity of the MorphCtr-128 speedup to
+ * the metadata cache size (64 KB / 128 KB / 256 KB).
+ *
+ * Expected shape: the smaller the cache, the larger MorphCtr's win
+ * (paper: +11% at 64 KB, +6.3% at 128 KB, +3.3% at 256 KB) — a
+ * compact tree matters most when cache is scarce. The paper also
+ * notes MorphCtr at 64 KB roughly matches SC-64 at 128 KB.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace morph;
+    using namespace morph::bench;
+
+    banner("Fig 19", "speedup vs metadata cache size (normalized to "
+                     "SC-64 @ 128 KB)");
+
+    // Full footprints: the trend comes from whole tree levels
+    // crossing the cache-capacity boundary (SC-64's 64 KB level 2
+    // fits a 256 KB cache but not a 64 KB one), which footprint
+    // scaling would distort.
+    SimOptions options = perfOptions();
+    options.footprintScale = envScale(1.0);
+    const std::size_t sizes[] = {64 * 1024, 128 * 1024, 256 * 1024};
+
+    // Baseline: SC-64 with the default 128 KB cache.
+    std::vector<double> base_ipc;
+    for (const std::string &name : evaluationWorkloads())
+        base_ipc.push_back(
+            runByName(name, modelConfig(TreeConfig::sc64()), options)
+                .ipc);
+
+    std::printf("%-10s %12s %16s %18s\n", "cache", "SC-64",
+                "MorphCtr-128", "Morph speedup");
+    for (const std::size_t size : sizes) {
+        std::vector<double> sc64_norm, morph_norm;
+        unsigned w = 0;
+        for (const std::string &name : evaluationWorkloads()) {
+            auto sc64_config = modelConfig(TreeConfig::sc64());
+            auto morph_config = modelConfig(TreeConfig::morph());
+            sc64_config.metadataCacheBytes = size;
+            morph_config.metadataCacheBytes = size;
+            sc64_norm.push_back(
+                runByName(name, sc64_config, options).ipc /
+                base_ipc[w]);
+            morph_norm.push_back(
+                runByName(name, morph_config, options).ipc /
+                base_ipc[w]);
+            ++w;
+        }
+        const double s = geomean(sc64_norm);
+        const double m = geomean(morph_norm);
+        std::printf("%4zu KB    %12.3f %16.3f %+17.1f%%\n",
+                    size / 1024, s, m, (m / s - 1.0) * 100);
+    }
+
+    std::printf("\nPaper: +11%% @ 64 KB, +6.3%% @ 128 KB, +3.3%% @ "
+                "256 KB.\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Quickstart: protect a region of memory with MorphCtr-128.
+ *
+ * Shows the three guarantees of the secure-memory stack in a dozen
+ * lines each: confidentiality (ciphertext != plaintext), integrity
+ * (tampering detected), and freshness (replay detected via the
+ * integrity tree), plus the geometry savings of the morphable-counter
+ * tree.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "secmem/secure_memory.hh"
+
+int
+main()
+{
+    using namespace morph;
+
+    // 1. Configure a 1 GB protected region using MorphCtr-128 for
+    //    both encryption counters and the integrity tree.
+    SecureMemoryConfig config;
+    config.memBytes = 1ull << 30;
+    config.tree = TreeConfig::morph();
+    for (unsigned i = 0; i < 16; ++i) {
+        config.encryptionKey[i] = std::uint8_t(0x10 + i);
+        config.macKey[i] = std::uint8_t(0x30 + i);
+    }
+    SecureMemory memory(config);
+
+    std::printf("Protected %llu MB with %s\n",
+                (unsigned long long)(config.memBytes >> 20),
+                config.tree.name.c_str());
+    const TreeGeometry &geom = memory.geometry();
+    std::printf("  encryption counters: %llu KB, integrity tree: %llu "
+                "KB (%u levels)\n\n",
+                (unsigned long long)(geom.encryptionBytes() >> 10),
+                (unsigned long long)(geom.treeBytes() >> 10),
+                geom.treeLevels());
+
+    // 2. Write and read through the byte-granular API.
+    const char secret[] = "attack at dawn";
+    memory.writeBytes(0x1000, secret, sizeof(secret));
+
+    char readback[sizeof(secret)] = {};
+    memory.readBytes(0x1000, readback, sizeof(readback));
+    std::printf("round trip:     \"%s\"\n", readback);
+
+    // 3. Confidentiality: the stored ciphertext is unintelligible.
+    const CachelineData cipher = memory.ciphertextOf(lineOf(0x1000));
+    std::printf("stored bytes:   ");
+    for (int i = 0; i < 14; ++i)
+        std::printf("%02x ", cipher[i]);
+    std::printf(" (ciphertext)\n");
+
+    // 4. Integrity: flip one stored bit; the read must fail.
+    CachelineData tampered = cipher;
+    tampered[3] ^= 0x01;
+    memory.tamperCiphertext(lineOf(0x1000), tampered);
+    SecureMemory::Verdict verdict;
+    if (!memory.readLine(lineOf(0x1000), verdict))
+        std::printf("tampered read:  REJECTED (%s)\n",
+                    verdict == SecureMemory::Verdict::DataMacMismatch
+                        ? "data MAC mismatch"
+                        : "tree MAC mismatch");
+
+    // Restore the genuine ciphertext; reads work again.
+    memory.tamperCiphertext(lineOf(0x1000), cipher);
+    memory.readBytes(0x1000, readback, sizeof(readback));
+    std::printf("restored read:  \"%s\"\n\n", readback);
+
+    // 5. Freshness: replaying a stale counter entry is caught by the
+    //    tree (see replay_attack_demo for the full scenario).
+    std::printf("stats: %llu writes, %llu reads, %llu overflows, %llu "
+                "rebases, %llu integrity failures\n",
+                (unsigned long long)memory.stats().writes,
+                (unsigned long long)memory.stats().reads,
+                (unsigned long long)memory.stats().counterOverflows,
+                (unsigned long long)memory.stats().rebases,
+                (unsigned long long)memory.stats().integrityFailures);
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Replay-attack walkthrough: why secure memory needs an integrity
+ * tree, not just MACs.
+ *
+ * Plays the adversary of the paper's attack model (§II-A1): physical
+ * access to the DIMM, able to read and overwrite any stored byte —
+ * ciphertext, MACs, even the counter entries — but not the on-chip
+ * tree root. Four escalating attacks; each is detected, the last one
+ * only because of the tree:
+ *
+ *   1. blind tamper            -> data MAC mismatch
+ *   2. splice (move a line)    -> data MAC mismatch (address-bound)
+ *   3. replay {data, MAC}      -> data MAC mismatch (counter moved on)
+ *   4. replay {data, MAC, counter entry} -> TREE MAC mismatch:
+ *      the stale counter entry no longer verifies against its
+ *      parent's counter, which lives up the chain ending on-chip.
+ *
+ * Build & run:  ./build/examples/replay_attack_demo
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "secmem/secure_memory.hh"
+
+namespace
+{
+
+using namespace morph;
+
+const char *
+verdictName(SecureMemory::Verdict verdict)
+{
+    switch (verdict) {
+      case SecureMemory::Verdict::Ok:
+        return "OK";
+      case SecureMemory::Verdict::DataMacMismatch:
+        return "DATA MAC MISMATCH";
+      case SecureMemory::Verdict::TreeMacMismatch:
+        return "TREE MAC MISMATCH";
+    }
+    return "?";
+}
+
+void
+attempt(SecureMemory &memory, LineAddr line, const char *attack)
+{
+    SecureMemory::Verdict verdict;
+    const auto result = memory.readLine(line, verdict);
+    std::printf("  %-34s -> %s\n", attack,
+                result ? "read ACCEPTED (!!)" : verdictName(verdict));
+}
+
+} // namespace
+
+int
+main()
+{
+    SecureMemoryConfig config;
+    config.memBytes = 64ull << 20;
+    config.tree = TreeConfig::morph();
+    config.encryptionKey[0] = 0x5a;
+    config.macKey[0] = 0xc3;
+    SecureMemory memory(config);
+
+    // The victim stores an account balance.
+    const LineAddr account = lineOf(0x40000);
+    std::uint64_t balance = 1'000'000;
+    memory.writeBytes(addrOf(account), &balance, sizeof(balance));
+    std::printf("victim writes balance = %llu\n\n",
+                (unsigned long long)balance);
+
+    // ---- Attack 1: blind bit-flip in the ciphertext ----
+    std::printf("attack 1: flip a ciphertext bit\n");
+    CachelineData genuine = memory.ciphertextOf(account);
+    CachelineData flipped = genuine;
+    flipped[0] ^= 0x80;
+    memory.tamperCiphertext(account, flipped);
+    attempt(memory, account, "read after bit-flip");
+    memory.tamperCiphertext(account, genuine); // restore
+
+    // ---- Attack 2: splice another line's {data, MAC} here ----
+    std::printf("attack 2: splice line B's {data, MAC} over line A\n");
+    const LineAddr other = lineOf(0x80000);
+    std::uint64_t other_balance = 5;
+    memory.writeBytes(addrOf(other), &other_balance,
+                      sizeof(other_balance));
+    const std::uint64_t genuine_mac = memory.macOf(account);
+    memory.tamperCiphertext(account, memory.ciphertextOf(other));
+    memory.tamperMac(account, memory.macOf(other));
+    attempt(memory, account, "read spliced line");
+    memory.tamperCiphertext(account, genuine); // restore
+    memory.tamperMac(account, genuine_mac);
+
+    // ---- Attack 3: replay the old {data, MAC} after an update ----
+    std::printf("attack 3: replay stale {data, MAC} after the balance "
+                "drops\n");
+    const CachelineData rich_cipher = memory.ciphertextOf(account);
+    const std::uint64_t rich_mac = memory.macOf(account);
+    balance = 10; // the victim spends the money
+    memory.writeBytes(addrOf(account), &balance, sizeof(balance));
+    memory.tamperCiphertext(account, rich_cipher);
+    memory.tamperMac(account, rich_mac);
+    attempt(memory, account, "read replayed {data, MAC}");
+
+    // ---- Attack 4: also replay the counter entry ----
+    std::printf("attack 4: replay {data, MAC, counter entry} — "
+                "defeats MACs alone\n");
+    // (Snapshot the counter entry while the balance was high, by
+    // re-running the history on a second memory with identical keys.)
+    SecureMemory shadow(config);
+    std::uint64_t replay_balance = 1'000'000;
+    shadow.writeBytes(addrOf(account), &replay_balance,
+                      sizeof(replay_balance));
+    const std::uint64_t entry =
+        memory.geometry().parentIndex(0, account);
+    const CachelineData stale_entry = shadow.tree().rawEntry(0, entry);
+    const CachelineData stale_cipher = shadow.ciphertextOf(account);
+    const std::uint64_t stale_mac = shadow.macOf(account);
+
+    memory.tamperCiphertext(account, stale_cipher);
+    memory.tamperMac(account, stale_mac);
+    memory.tree().injectEntry(0, entry, stale_entry);
+    attempt(memory, account,
+            "read full-tuple replay (tree catches it)");
+
+    std::printf("\nintegrity failures recorded: %llu\n",
+                (unsigned long long)memory.stats().integrityFailures);
+    std::printf("every attack detected; the on-chip tree root anchors "
+                "freshness.\n");
+    return 0;
+}

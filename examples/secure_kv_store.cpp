@@ -1,0 +1,210 @@
+/**
+ * @file
+ * A key-value store whose entire heap lives in secure memory.
+ *
+ * The scenario the paper's introduction motivates: a data-center node
+ * keeps sensitive records (credit cards, keys) in DRAM where a
+ * physical attacker could read or replay them. This example builds an
+ * open-addressing hash table directly on the SecureMemory byte API —
+ * every probe, insert and lookup flows through counter-mode
+ * encryption, MAC verification and the MorphCtr-128 integrity tree —
+ * then shows that a replayed "deleted" record is rejected rather than
+ * resurrected.
+ *
+ * Build & run:  ./build/examples/secure_kv_store
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "secmem/secure_memory.hh"
+
+namespace
+{
+
+using namespace morph;
+
+/** Fixed-size record: one 64-byte cacheline per slot. */
+struct Record
+{
+    char key[24];
+    char value[32];
+    std::uint8_t state; // 0 empty, 1 live, 2 tombstone
+    std::uint8_t pad[7];
+};
+static_assert(sizeof(Record) == 64, "one slot per cacheline");
+
+/** Open-addressing hash table over a secure-memory region. */
+class SecureKvStore
+{
+  public:
+    SecureKvStore(SecureMemory &memory, Addr base, std::size_t slots)
+        : memory_(&memory), base_(base), slots_(slots)
+    {}
+
+    bool
+    put(const std::string &key, const std::string &value)
+    {
+        if (key.size() >= sizeof(Record::key) ||
+            value.size() >= sizeof(Record::value))
+            return false;
+        std::size_t tombstone = slots_;
+        for (std::size_t probe = 0; probe < slots_; ++probe) {
+            const std::size_t slot = slotFor(key, probe);
+            Record record;
+            if (!load(slot, record))
+                return false;
+            if (record.state == 1 &&
+                key == std::string(record.key)) {
+                setValue(record, value);
+                return store(slot, record);
+            }
+            if (record.state == 2 && tombstone == slots_)
+                tombstone = slot;
+            if (record.state == 0) {
+                const std::size_t target =
+                    tombstone != slots_ ? tombstone : slot;
+                Record fresh{};
+                std::strncpy(fresh.key, key.c_str(),
+                             sizeof(fresh.key) - 1);
+                setValue(fresh, value);
+                fresh.state = 1;
+                return store(target, fresh);
+            }
+        }
+        return false; // table full
+    }
+
+    std::optional<std::string>
+    get(const std::string &key)
+    {
+        for (std::size_t probe = 0; probe < slots_; ++probe) {
+            const std::size_t slot = slotFor(key, probe);
+            Record record;
+            if (!load(slot, record))
+                return std::nullopt; // integrity failure
+            if (record.state == 0)
+                return std::nullopt;
+            if (record.state == 1 && key == std::string(record.key))
+                return std::string(record.value);
+        }
+        return std::nullopt;
+    }
+
+    bool
+    erase(const std::string &key)
+    {
+        for (std::size_t probe = 0; probe < slots_; ++probe) {
+            const std::size_t slot = slotFor(key, probe);
+            Record record;
+            if (!load(slot, record))
+                return false;
+            if (record.state == 0)
+                return false;
+            if (record.state == 1 && key == std::string(record.key)) {
+                record.state = 2;
+                std::memset(record.value, 0, sizeof(record.value));
+                return store(slot, record);
+            }
+        }
+        return false;
+    }
+
+    /** Line address of the slot a key lives in (for the demo). */
+    LineAddr
+    lineOfKey(const std::string &key) const
+    {
+        return lineOf(base_ + slotFor(key, 0) * sizeof(Record));
+    }
+
+  private:
+    static void
+    setValue(Record &record, const std::string &value)
+    {
+        std::memset(record.value, 0, sizeof(record.value));
+        std::strncpy(record.value, value.c_str(),
+                     sizeof(record.value) - 1);
+    }
+
+    std::size_t
+    slotFor(const std::string &key, std::size_t probe) const
+    {
+        std::uint64_t h = 1469598103934665603ull;
+        for (const char c : key)
+            h = (h ^ std::uint8_t(c)) * 1099511628211ull;
+        return (h + probe) % slots_;
+    }
+
+    bool
+    load(std::size_t slot, Record &record)
+    {
+        return memory_->readBytes(base_ + slot * sizeof(Record),
+                                  &record, sizeof(record));
+    }
+
+    bool
+    store(std::size_t slot, const Record &record)
+    {
+        memory_->writeBytes(base_ + slot * sizeof(Record), &record,
+                            sizeof(record));
+        return true;
+    }
+
+    SecureMemory *memory_;
+    Addr base_;
+    std::size_t slots_;
+};
+
+} // namespace
+
+int
+main()
+{
+    SecureMemoryConfig config;
+    config.memBytes = 64ull << 20;
+    config.tree = TreeConfig::morph();
+    config.encryptionKey[5] = 0x77;
+    config.macKey[5] = 0x99;
+    SecureMemory memory(config);
+
+    SecureKvStore store(memory, /*base=*/0x100000, /*slots=*/4096);
+
+    // A working set of sensitive records.
+    store.put("card:alice", "4111-1111-1111-1111");
+    store.put("card:bob", "5500-0000-0000-0004");
+    store.put("btc:carol", "5Kb8kLf9zgWQnogidDA76Mz");
+    store.put("card:alice", "4242-4242-4242-4242"); // update
+
+    std::printf("card:alice -> %s\n",
+                store.get("card:alice").value_or("<missing>").c_str());
+    std::printf("card:bob   -> %s\n",
+                store.get("card:bob").value_or("<missing>").c_str());
+    std::printf("btc:carol  -> %s\n",
+                store.get("btc:carol").value_or("<missing>").c_str());
+
+    // Delete a record, then let the attacker try to resurrect it by
+    // replaying the slot's pre-deletion {ciphertext, MAC}.
+    const LineAddr slot_line = store.lineOfKey("btc:carol");
+    const CachelineData stale_cipher = memory.ciphertextOf(slot_line);
+    const std::uint64_t stale_mac = memory.macOf(slot_line);
+
+    store.erase("btc:carol");
+    std::printf("\nafter erase: btc:carol -> %s\n",
+                store.get("btc:carol").value_or("<missing>").c_str());
+
+    memory.tamperCiphertext(slot_line, stale_cipher);
+    memory.tamperMac(slot_line, stale_mac);
+    const auto resurrected = store.get("btc:carol");
+    std::printf("after replay attack: btc:carol -> %s\n",
+                resurrected.value_or("<rejected: integrity failure>")
+                    .c_str());
+
+    std::printf("\nsecure-memory stats: %llu reads, %llu writes, "
+                "%llu integrity failures\n",
+                (unsigned long long)memory.stats().reads,
+                (unsigned long long)memory.stats().writes,
+                (unsigned long long)memory.stats().integrityFailures);
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tree-walk tracer: see exactly what each memory access costs.
+ *
+ * Feeds a few hand-picked access sequences through the cycle-model
+ * controller and prints every DRAM access each one generates —
+ * the metadata fetches, verification walks, write-backs, and
+ * overflow re-encryptions that the paper's traffic figures aggregate.
+ * Running it side by side for SC-64 and MorphCtr-128 makes the
+ * "compact trees terminate walks earlier" effect concrete.
+ *
+ * Build & run:  ./build/examples/tree_walk_trace
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "secmem/secure_memory_model.hh"
+
+namespace
+{
+
+using namespace morph;
+
+void
+describe(const SecureMemoryModel &model, const MemAccess &access)
+{
+    const TreeGeometry &geom = model.geometry();
+    unsigned level;
+    std::uint64_t index;
+    std::printf("    %-5s %-9s",
+                access.type == AccessType::Write ? "WRITE" : "READ",
+                trafficName(access.category));
+    if (geom.entryOfLine(access.line, level, index))
+        std::printf(" level %u entry %-8llu", level,
+                    (unsigned long long)index);
+    else
+        std::printf(" data line    %-8llu",
+                    (unsigned long long)access.line);
+    std::printf(" %s\n", access.critical ? "[critical]" : "");
+}
+
+void
+run(const char *title, SecureMemoryModel &model, LineAddr line,
+    AccessType type)
+{
+    std::vector<MemAccess> out;
+    model.onDataAccess(line, type, out);
+    std::printf("  %s -> %zu DRAM accesses\n", title, out.size());
+    for (const MemAccess &access : out)
+        describe(model, access);
+}
+
+void
+walkThrough(const TreeConfig &config)
+{
+    SecureModelConfig model_config;
+    model_config.memBytes = 16ull << 30;
+    model_config.tree = config;
+    SecureMemoryModel model(model_config);
+    std::printf("\n================ %s (16 GB) ================\n",
+                config.name.c_str());
+    const auto &levels = model.geometry().levels();
+    std::printf("tree: ");
+    for (const auto &info : levels)
+        std::printf("L%u=%lluB ", info.level,
+                    (unsigned long long)info.bytes);
+    std::printf("\n\n");
+
+    run("cold read of line 0 (full walk)", model, 0,
+        AccessType::Read);
+    run("read of neighbouring line 1 (counter cached)", model, 1,
+        AccessType::Read);
+    run("write to line 2 (counter bump, posted)", model, 2,
+        AccessType::Write);
+    run("cold read far away (new subtree)", model, 1u << 22,
+        AccessType::Read);
+
+    // Hammer one line until its counter overflows to show the
+    // re-encryption storm.
+    std::vector<MemAccess> out;
+    unsigned writes = 0;
+    while (true) {
+        out.clear();
+        model.onDataAccess(3, AccessType::Write, out);
+        ++writes;
+        if (model.stats().totalOverflows() > 0)
+            break;
+        if (writes > (1u << 17))
+            break;
+    }
+    std::printf("  write #%u to line 3 overflowed its counter -> %zu "
+                "DRAM accesses in one burst:\n",
+                writes, out.size());
+    unsigned shown = 0;
+    for (const MemAccess &access : out) {
+        if (shown++ == 8) {
+            std::printf("    ... %zu more\n", out.size() - 8);
+            break;
+        }
+        describe(model, access);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    walkThrough(TreeConfig::sc64());
+    walkThrough(TreeConfig::morph());
+    std::printf("\nNote how MorphCtr-128's walk stops a level earlier "
+                "(its level 2 is 8 KB and\nlives permanently in the "
+                "128 KB metadata cache), and how its ZCC counters\n"
+                "push the overflow burst far beyond SC-64's 64-write "
+                "horizon.\n");
+    return 0;
+}

@@ -1,0 +1,138 @@
+#include "cache/cache.hh"
+
+#include "common/log.hh"
+
+namespace morph
+{
+
+Cache::Cache(std::size_t size_bytes, unsigned ways) : ways_(ways)
+{
+    if (ways == 0 || size_bytes == 0 ||
+        size_bytes % (std::size_t(ways) * lineBytes) != 0) {
+        fatal("cache: size %zu not divisible into %u-way sets of 64B "
+              "lines", size_bytes, ways);
+    }
+    numSets_ = size_bytes / (std::size_t(ways) * lineBytes);
+    lines_.resize(numSets_ * ways_);
+}
+
+Cache::Way *
+Cache::find(LineAddr line)
+{
+    Way *base = &lines_[setOf(line) * ways_];
+    for (unsigned w = 0; w < ways_; ++w)
+        if (base[w].valid && base[w].line == line)
+            return &base[w];
+    return nullptr;
+}
+
+const Cache::Way *
+Cache::find(LineAddr line) const
+{
+    const Way *base = &lines_[setOf(line) * ways_];
+    for (unsigned w = 0; w < ways_; ++w)
+        if (base[w].valid && base[w].line == line)
+            return &base[w];
+    return nullptr;
+}
+
+bool
+Cache::access(LineAddr line, bool write)
+{
+    Way *way = find(line);
+    if (way) {
+        way->lastUse = ++useClock_;
+        way->dirty = way->dirty || write;
+        ++stats_.hits;
+        return true;
+    }
+    ++stats_.misses;
+    return false;
+}
+
+bool
+Cache::contains(LineAddr line) const
+{
+    return find(line) != nullptr;
+}
+
+std::optional<Eviction>
+Cache::insert(LineAddr line, bool dirty, InsertPosition position)
+{
+    if (Way *hit = find(line)) {
+        hit->lastUse = ++useClock_;
+        hit->dirty = hit->dirty || dirty;
+        return std::nullopt;
+    }
+
+    Way *base = &lines_[setOf(line) * ways_];
+    Way *victim = &base[0];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+
+    std::optional<Eviction> evicted;
+    if (victim->valid) {
+        evicted = Eviction{victim->line, victim->dirty};
+        ++stats_.evictions;
+        if (victim->dirty)
+            ++stats_.dirtyEvictions;
+    }
+
+    victim->line = line;
+    victim->valid = true;
+    victim->dirty = dirty;
+    if (position == InsertPosition::Mru) {
+        victim->lastUse = ++useClock_;
+    } else {
+        // Demoted insertion: place below every valid way in the set.
+        Way *base2 = &lines_[setOf(line) * ways_];
+        std::uint64_t lowest = ~std::uint64_t(0);
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (base2[w].valid && &base2[w] != victim)
+                lowest = std::min(lowest, base2[w].lastUse);
+        }
+        victim->lastUse = lowest == ~std::uint64_t(0) || lowest == 0
+                              ? 0
+                              : lowest - 1;
+    }
+    return evicted;
+}
+
+bool
+Cache::markDirty(LineAddr line)
+{
+    if (Way *way = find(line)) {
+        way->dirty = true;
+        return true;
+    }
+    return false;
+}
+
+std::optional<Eviction>
+Cache::invalidate(LineAddr line)
+{
+    if (Way *way = find(line)) {
+        const Eviction ev{way->line, way->dirty};
+        way->valid = false;
+        way->dirty = false;
+        return ev;
+    }
+    return std::nullopt;
+}
+
+void
+Cache::flush()
+{
+    for (auto &way : lines_) {
+        way.valid = false;
+        way.dirty = false;
+    }
+}
+
+} // namespace morph

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Generic set-associative write-back cache model.
+ *
+ * Models presence and dirtiness only — payloads live in the backing
+ * stores of the components that use the cache. Used for the shared
+ * metadata cache that holds encryption-counter and integrity-tree
+ * lines (128 KB, 8-way in the paper's baseline).
+ *
+ * Replacement is true LRU. Dirty evictions are reported to the caller
+ * through the return value of insert()/access() so that the secure
+ * memory controller can propagate counter write-back traffic up the
+ * integrity tree.
+ */
+
+#ifndef MORPH_CACHE_CACHE_HH
+#define MORPH_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace morph
+{
+
+/** A line evicted from the cache. */
+struct Eviction
+{
+    LineAddr line;
+    bool dirty;
+};
+
+/** Replacement-stack position for newly inserted lines. */
+enum class InsertPosition : std::uint8_t
+{
+    Mru, ///< normal insertion (most recently used)
+    Lru, ///< demoted insertion: first victim unless re-referenced
+};
+
+/** Aggregate cache statistics. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t dirtyEvictions = 0;
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = hits + misses;
+        return total ? double(hits) / double(total) : 0.0;
+    }
+};
+
+/** Set-associative LRU cache over 64-byte lines. */
+class Cache
+{
+  public:
+    /**
+     * @param size_bytes total capacity; must be a multiple of
+     *                   ways * lineBytes
+     * @param ways       associativity
+     */
+    Cache(std::size_t size_bytes, unsigned ways);
+
+    /**
+     * Look up @p line; updates LRU on hit.
+     *
+     * @param line  line to access
+     * @param write if true and the line hits, mark it dirty
+     * @retval true on hit
+     */
+    bool access(LineAddr line, bool write = false);
+
+    /** Probe without updating replacement state or statistics. */
+    bool contains(LineAddr line) const;
+
+    /**
+     * Insert @p line (assumed missing; inserting a present line just
+     * updates its dirty bit and LRU position).
+     *
+     * @param position stack position for the new line; Lru implements
+     *        type-aware demotion (metadata classes with little reuse
+     *        can be inserted as the next victim)
+     * @return the victim line if a valid line had to be evicted
+     */
+    std::optional<Eviction> insert(LineAddr line, bool dirty,
+                                   InsertPosition position =
+                                       InsertPosition::Mru);
+
+    /** Mark a (present) line dirty; returns false if absent. */
+    bool markDirty(LineAddr line);
+
+    /** Remove a line if present; returns its eviction record. */
+    std::optional<Eviction> invalidate(LineAddr line);
+
+    /** Drop all contents (statistics are preserved). */
+    void flush();
+
+    /** Walk all valid lines, invoking @p fn(line, dirty). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &way : lines_)
+            if (way.valid)
+                fn(way.line, way.dirty);
+    }
+
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CacheStats{}; }
+
+    std::size_t sizeBytes() const { return numSets_ * ways_ * lineBytes; }
+    unsigned ways() const { return ways_; }
+    std::size_t numSets() const { return numSets_; }
+
+  private:
+    struct Way
+    {
+        LineAddr line = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::size_t setOf(LineAddr line) const { return line % numSets_; }
+    Way *find(LineAddr line);
+    const Way *find(LineAddr line) const;
+
+    std::size_t numSets_;
+    unsigned ways_;
+    std::vector<Way> lines_; // numSets_ * ways_, set-major
+    std::uint64_t useClock_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace morph
+
+#endif // MORPH_CACHE_CACHE_HH

@@ -1,0 +1,70 @@
+#include "common/bitfield.hh"
+
+#include <bit>
+
+namespace morph
+{
+
+std::uint64_t
+readBits(const CachelineData &line, unsigned offset, unsigned width)
+{
+    assert(width >= 1 && width <= 64);
+    assert(offset + width <= lineBits);
+
+    std::uint64_t value = 0;
+    unsigned got = 0;
+    unsigned pos = offset;
+    while (got < width) {
+        const unsigned byte = pos / 8;
+        const unsigned bit = pos % 8;
+        const unsigned take = std::min(8u - bit, width - got);
+        const std::uint64_t chunk =
+            (std::uint64_t(line[byte]) >> bit) & ((1ull << take) - 1);
+        value |= chunk << got;
+        got += take;
+        pos += take;
+    }
+    return value;
+}
+
+void
+writeBits(CachelineData &line, unsigned offset, unsigned width,
+          std::uint64_t value)
+{
+    assert(width >= 1 && width <= 64);
+    assert(offset + width <= lineBits);
+    assert(width == 64 || (value >> width) == 0);
+
+    unsigned put = 0;
+    unsigned pos = offset;
+    while (put < width) {
+        const unsigned byte = pos / 8;
+        const unsigned bit = pos % 8;
+        const unsigned take = std::min(8u - bit, width - put);
+        const std::uint8_t mask =
+            std::uint8_t(((1u << take) - 1) << bit);
+        const std::uint8_t chunk =
+            std::uint8_t(((value >> put) & ((1ull << take) - 1)) << bit);
+        line[byte] = std::uint8_t((line[byte] & ~mask) | chunk);
+        put += take;
+        pos += take;
+    }
+}
+
+unsigned
+popcountBits(const CachelineData &line, unsigned offset, unsigned nbits)
+{
+    assert(offset + nbits <= lineBits);
+    unsigned count = 0;
+    unsigned pos = offset;
+    unsigned left = nbits;
+    while (left > 0) {
+        const unsigned chunk_bits = std::min(left, 64u);
+        count += unsigned(std::popcount(readBits(line, pos, chunk_bits)));
+        pos += chunk_bits;
+        left -= chunk_bits;
+    }
+    return count;
+}
+
+} // namespace morph

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Bit-granular field access within a 64-byte cacheline image.
+ *
+ * Counter blocks (split counters, ZCC, MCR) are stored bit-exactly in
+ * 512-bit cacheline images. All formats are described as a sequence of
+ * fields at fixed bit offsets; this utility reads and writes those
+ * fields. Bit 0 is the least-significant bit of byte 0 (little-endian
+ * bit order), so a field of width w at offset o occupies bits
+ * [o, o + w) of the line viewed as one 512-bit little-endian integer.
+ */
+
+#ifndef MORPH_COMMON_BITFIELD_HH
+#define MORPH_COMMON_BITFIELD_HH
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace morph
+{
+
+/**
+ * Read a bit field of up to 64 bits from a cacheline image.
+ *
+ * @param line   source cacheline image
+ * @param offset first bit of the field (0..511)
+ * @param width  field width in bits (1..64)
+ * @return the field value, right-aligned
+ */
+std::uint64_t readBits(const CachelineData &line, unsigned offset,
+                       unsigned width);
+
+/**
+ * Write a bit field of up to 64 bits into a cacheline image.
+ *
+ * @param line   destination cacheline image
+ * @param offset first bit of the field (0..511)
+ * @param width  field width in bits (1..64)
+ * @param value  field value; bits above @p width must be zero
+ */
+void writeBits(CachelineData &line, unsigned offset, unsigned width,
+               std::uint64_t value);
+
+/** Test a single bit in a cacheline image. */
+inline bool
+testBit(const CachelineData &line, unsigned bit)
+{
+    assert(bit < lineBits);
+    return (line[bit / 8] >> (bit % 8)) & 1;
+}
+
+/** Set or clear a single bit in a cacheline image. */
+inline void
+setBit(CachelineData &line, unsigned bit, bool value)
+{
+    assert(bit < lineBits);
+    const std::uint8_t mask = std::uint8_t(1) << (bit % 8);
+    if (value)
+        line[bit / 8] |= mask;
+    else
+        line[bit / 8] &= std::uint8_t(~mask);
+}
+
+/**
+ * Count set bits within the first @p nbits bits of a bit-vector field.
+ *
+ * @param line   cacheline image holding the bit vector
+ * @param offset first bit of the vector
+ * @param nbits  number of bits to scan
+ */
+unsigned popcountBits(const CachelineData &line, unsigned offset,
+                      unsigned nbits);
+
+} // namespace morph
+
+#endif // MORPH_COMMON_BITFIELD_HH

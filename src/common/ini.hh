@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal INI-style configuration files (USIMM reads its system and
+ * power parameters from files; morphsim does the same).
+ *
+ * Grammar:
+ *
+ *     ; comment       # comment
+ *     [section]
+ *     key = value
+ *
+ * Keys outside any section live in the "" section. Lookups are by
+ * "section.key" (or bare "key" for the default section). Values are
+ * strings with typed accessors; unknown keys can be enumerated so
+ * callers can reject typos.
+ */
+
+#ifndef MORPH_COMMON_INI_HH
+#define MORPH_COMMON_INI_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace morph
+{
+
+/** A parsed INI file. */
+class IniFile
+{
+  public:
+    IniFile() = default;
+
+    /** Parse a file from disk; fatal() on open/parse errors. */
+    static IniFile fromFile(const std::string &path);
+
+    /** Parse from a stream (tests); fatal() on parse errors. */
+    static IniFile fromStream(std::istream &input,
+                              const std::string &name);
+
+    /** True if "section.key" (or "key") is present. */
+    bool has(const std::string &dotted_key) const;
+
+    /** String value; @p fallback if absent. */
+    std::string getString(const std::string &dotted_key,
+                          const std::string &fallback = "") const;
+
+    /** Integer value; fatal() if present but unparsable. */
+    std::int64_t getInt(const std::string &dotted_key,
+                        std::int64_t fallback) const;
+
+    /** Double value; fatal() if present but unparsable. */
+    double getDouble(const std::string &dotted_key,
+                     double fallback) const;
+
+    /** Boolean: true/false/1/0/yes/no/on/off. */
+    bool getBool(const std::string &dotted_key, bool fallback) const;
+
+    /** All keys, dotted, in file order (for typo checking). */
+    const std::vector<std::string> &keys() const { return order_; }
+
+  private:
+    const std::string *find(const std::string &dotted_key) const;
+
+    std::vector<std::string> order_;
+    std::vector<std::pair<std::string, std::string>> values_;
+    std::string name_ = "<none>";
+};
+
+} // namespace morph
+
+#endif // MORPH_COMMON_INI_HH

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * All stochastic components of the simulator (trace generators, mixes,
+ * page placement) draw from explicitly seeded generators so that every
+ * experiment is bit-reproducible. We use xoshiro256** which is fast,
+ * high quality, and trivially seedable from a 64-bit value.
+ */
+
+#ifndef MORPH_COMMON_RNG_HH
+#define MORPH_COMMON_RNG_HH
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace morph
+{
+
+/** xoshiro256** pseudo-random generator (Blackman & Vigna). */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit value. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_)
+            word = splitmix64(x);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        assert(bound > 0);
+        // Unbiased rejection sampling via 128-bit multiply (Lemire).
+        while (true) {
+            const std::uint64_t x = next();
+            const unsigned __int128 m = (unsigned __int128)x * bound;
+            const std::uint64_t low = std::uint64_t(m);
+            if (low >= bound || low >= std::uint64_t(-bound) % bound)
+                return std::uint64_t(m >> 64);
+        }
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        x += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t state_[4];
+};
+
+/**
+ * Zipf-distributed sampler over [0, n).
+ *
+ * Used to model hot/cold page popularity: a small exponent produces
+ * mild skew, exponents near 1 produce the heavy page-popularity skew
+ * seen in graph workloads. Sampling is O(log n) via a precomputed CDF
+ * for small n, or approximate inverse-CDF for large n.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint64_t n, double exponent)
+        : n_(n), exponent_(exponent)
+    {
+        assert(n > 0);
+        if (n_ <= cdfLimit) {
+            cdf_.reserve(n_);
+            double sum = 0.0;
+            for (std::uint64_t i = 0; i < n_; ++i) {
+                sum += 1.0 / std::pow(double(i + 1), exponent_);
+                cdf_.push_back(sum);
+            }
+            norm_ = sum;
+        } else {
+            // Harmonic approximation H(n,s) for the continuous tail.
+            norm_ = generalizedHarmonic(double(n_), exponent_);
+        }
+    }
+
+    /** Draw one sample (rank 0 is the most popular item). */
+    std::uint64_t
+    sample(Rng &rng) const
+    {
+        const double u = rng.uniform() * norm_;
+        if (!cdf_.empty()) {
+            // Binary search the precomputed CDF.
+            std::uint64_t lo = 0, hi = n_ - 1;
+            while (lo < hi) {
+                const std::uint64_t mid = (lo + hi) / 2;
+                if (cdf_[mid] < u)
+                    lo = mid + 1;
+                else
+                    hi = mid;
+            }
+            return lo;
+        }
+        // Invert the continuous approximation of the CDF.
+        const double s = exponent_;
+        double x;
+        if (s == 1.0) {
+            x = std::exp(u) - 1.0;
+        } else {
+            x = std::pow(u * (1.0 - s) + 1.0, 1.0 / (1.0 - s)) - 1.0;
+        }
+        std::uint64_t idx = std::uint64_t(x);
+        return idx >= n_ ? n_ - 1 : idx;
+    }
+
+    std::uint64_t size() const { return n_; }
+
+  private:
+    static constexpr std::uint64_t cdfLimit = 1u << 20;
+
+    static double
+    generalizedHarmonic(double n, double s)
+    {
+        if (s == 1.0)
+            return std::log(n + 1.0);
+        return (std::pow(n + 1.0, 1.0 - s) - 1.0) / (1.0 - s);
+    }
+
+    std::uint64_t n_;
+    double exponent_;
+    double norm_ = 1.0;
+    std::vector<double> cdf_;
+};
+
+} // namespace morph
+
+#endif // MORPH_COMMON_RNG_HH

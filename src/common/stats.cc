@@ -1,0 +1,92 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace morph
+{
+
+Histogram::Histogram(double lo, double hi, unsigned buckets)
+    : lo_(lo), hi_(hi), buckets_(buckets, 0)
+{
+    assert(hi > lo && buckets > 0);
+}
+
+void
+Histogram::record(double sample, std::uint64_t weight)
+{
+    const double span = hi_ - lo_;
+    double pos = (sample - lo_) / span * double(buckets_.size());
+    long idx = long(pos);
+    idx = std::clamp(idx, 0l, long(buckets_.size()) - 1);
+    buckets_[std::size_t(idx)] += weight;
+    count_ += weight;
+    sum_ += sample * double(weight);
+}
+
+double
+Histogram::fraction(unsigned i) const
+{
+    if (count_ == 0)
+        return 0.0;
+    return double(buckets_.at(i)) / double(count_);
+}
+
+double
+Histogram::bucketLo(unsigned i) const
+{
+    return lo_ + (hi_ - lo_) * double(i) / double(buckets_.size());
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / double(count_) : 0.0;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+}
+
+void
+StatSet::set(const std::string &key, double value)
+{
+    for (auto &kv : values_) {
+        if (kv.first == key) {
+            kv.second = value;
+            return;
+        }
+    }
+    values_.emplace_back(key, value);
+}
+
+double
+StatSet::get(const std::string &key) const
+{
+    for (const auto &kv : values_)
+        if (kv.first == key)
+            return kv.second;
+    return 0.0;
+}
+
+bool
+StatSet::has(const std::string &key) const
+{
+    for (const auto &kv : values_)
+        if (kv.first == key)
+            return true;
+    return false;
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &kv : values_)
+        os << name_ << "." << kv.first << " " << kv.second << "\n";
+}
+
+} // namespace morph

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Lightweight statistics: named scalars and fixed-bucket histograms.
+ *
+ * Components own plain integer/double members for speed and register
+ * them in a StatSet for uniform reporting. A Histogram supports the
+ * usage-fraction distributions reported in the paper (Fig 7).
+ */
+
+#ifndef MORPH_COMMON_STATS_HH
+#define MORPH_COMMON_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace morph
+{
+
+/** Fixed-width-bucket histogram over [lo, hi). */
+class Histogram
+{
+  public:
+    /**
+     * @param lo      lowest representable sample
+     * @param hi      one past the highest representable sample
+     * @param buckets number of equal-width buckets
+     */
+    Histogram(double lo, double hi, unsigned buckets);
+
+    /** Record one sample; out-of-range samples clamp to edge buckets. */
+    void record(double sample, std::uint64_t weight = 1);
+
+    /** Total recorded weight. */
+    std::uint64_t count() const { return count_; }
+
+    /** Weight in bucket @p i. */
+    std::uint64_t bucket(unsigned i) const { return buckets_.at(i); }
+
+    /** Fraction of total weight in bucket @p i (0 if empty). */
+    double fraction(unsigned i) const;
+
+    /** Number of buckets. */
+    unsigned size() const { return unsigned(buckets_.size()); }
+
+    /** Lower edge of bucket @p i. */
+    double bucketLo(unsigned i) const;
+
+    /** Mean of recorded samples. */
+    double mean() const;
+
+    /** Reset all buckets. */
+    void reset();
+
+  private:
+    double lo_, hi_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/** A named collection of scalar statistics for reporting. */
+class StatSet
+{
+  public:
+    explicit StatSet(std::string name) : name_(std::move(name)) {}
+
+    /** Add (or overwrite) a named scalar value. */
+    void set(const std::string &key, double value);
+
+    /** Look up a scalar; returns 0 for missing keys. */
+    double get(const std::string &key) const;
+
+    /** True if the key has been set. */
+    bool has(const std::string &key) const;
+
+    /** Print "name.key value" lines, in insertion order. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<std::pair<std::string, double>> values_;
+};
+
+} // namespace morph
+
+#endif // MORPH_COMMON_STATS_HH

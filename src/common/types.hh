@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fundamental types shared across the MorphCtr library.
+ *
+ * The secure-memory system models a physical address space partitioned
+ * into 64-byte cachelines and 4 KB pages, matching the organization
+ * assumed throughout the paper (Saileshwar et al., MICRO 2018).
+ */
+
+#ifndef MORPH_COMMON_TYPES_HH
+#define MORPH_COMMON_TYPES_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace morph
+{
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Index of a 64-byte cacheline within the physical address space. */
+using LineAddr = std::uint64_t;
+
+/** Simulation time, in memory-controller cycles unless stated otherwise. */
+using Cycle = std::uint64_t;
+
+/** Size of a cacheline in bytes — every memory transfer is one line. */
+constexpr std::size_t lineBytes = 64;
+
+/** Size of a cacheline in bits. */
+constexpr std::size_t lineBits = lineBytes * 8;
+
+/** Size of a physical page in bytes. */
+constexpr std::size_t pageBytes = 4096;
+
+/** Cachelines per physical page. */
+constexpr std::size_t linesPerPage = pageBytes / lineBytes;
+
+/** Raw contents of one 64-byte cacheline. */
+using CachelineData = std::array<std::uint8_t, lineBytes>;
+
+/** Convert a byte address to its cacheline index. */
+constexpr LineAddr
+lineOf(Addr addr)
+{
+    return addr / lineBytes;
+}
+
+/** Convert a cacheline index back to the base byte address. */
+constexpr Addr
+addrOf(LineAddr line)
+{
+    return line * lineBytes;
+}
+
+/** Convert a byte address to its page index. */
+constexpr std::uint64_t
+pageOf(Addr addr)
+{
+    return addr / pageBytes;
+}
+
+/** Kind of a memory transaction. */
+enum class AccessType : std::uint8_t { Read, Write };
+
+} // namespace morph
+
+#endif // MORPH_COMMON_TYPES_HH

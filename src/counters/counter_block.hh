@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Common interface for counter-cacheline organizations.
+ *
+ * Every secure-memory counter organization in this library (split
+ * counters SC-n, morphable counters with ZCC/MCR) stores some number
+ * of per-child counters inside one 64-byte cacheline image together
+ * with a 64-bit MAC field. The *effective value* of child i is the
+ * value fed to counter-mode encryption / MAC generation for that
+ * child; the cardinal security invariant is that the effective value
+ * of every child is strictly increasing across writes and never reused.
+ *
+ * Some mutations (overflow resets) change the effective values of
+ * children that were not written; those children must be re-encrypted
+ * (data level) or re-MACed (tree level). increment() reports the
+ * affected child range so the caller can generate that traffic, which
+ * is the central cost the paper's design minimizes.
+ */
+
+#ifndef MORPH_COUNTERS_COUNTER_BLOCK_HH
+#define MORPH_COUNTERS_COUNTER_BLOCK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace morph
+{
+
+/** Outcome of incrementing one counter within a block. */
+struct WriteResult
+{
+    /** A reset occurred: children in [reencBegin, reencEnd) changed
+     *  effective value and must be re-encrypted / re-hashed. */
+    bool overflow = false;
+
+    /** An MCR rebase absorbed a would-be overflow (no re-encryption). */
+    bool rebase = false;
+
+    /** The block switched representation (ZCC <-> MCR/Uniform). */
+    bool formatSwitch = false;
+
+    /** First child index requiring re-encryption (valid iff overflow). */
+    std::uint16_t reencBegin = 0;
+
+    /** One past the last child requiring re-encryption. */
+    std::uint16_t reencEnd = 0;
+
+    /** Children with non-zero counters just before an overflow reset
+     *  (valid iff overflow) — feeds the usage-fraction histogram of
+     *  paper Fig 7. */
+    std::uint16_t usedBefore = 0;
+
+    /** Number of children whose effective value changed. */
+    unsigned reencCount() const { return unsigned(reencEnd - reencBegin); }
+};
+
+/**
+ * A counter-cacheline format: stateless codec over 64-byte images.
+ *
+ * Formats are stateless so that millions of counter lines can be kept
+ * as raw cacheline images in sparse stores; all interpretation happens
+ * through the format object, exactly as a memory-controller decoder
+ * would.
+ */
+class CounterFormat
+{
+  public:
+    virtual ~CounterFormat() = default;
+
+    /** Number of per-child counters in one cacheline. */
+    virtual unsigned arity() const = 0;
+
+    /** Initialize an image to the all-zero-counters state. */
+    virtual void init(CachelineData &line) const = 0;
+
+    /** Effective counter value of child @p idx. */
+    virtual std::uint64_t read(const CachelineData &line,
+                               unsigned idx) const = 0;
+
+    /**
+     * Increment the counter of child @p idx (one memory write to that
+     * child), applying the format's overflow policy.
+     */
+    virtual WriteResult increment(CachelineData &line,
+                                  unsigned idx) const = 0;
+
+    /** Number of children with a non-zero minor counter. */
+    virtual unsigned nonZeroCount(const CachelineData &line) const = 0;
+
+    /** Human-readable format name (e.g. "SC-64", "MorphCtr-128"). */
+    virtual const char *name() const = 0;
+
+    /**
+     * The 64-bit per-line MAC field occupies bits [448, 512) in every
+     * format in this library (Fig 8 / Fig 13 of the paper).
+     */
+    static std::uint64_t mac(const CachelineData &line);
+
+    /** Store the per-line MAC field. */
+    static void setMac(CachelineData &line, std::uint64_t tag);
+
+    /** Bit offset of the MAC field. */
+    static constexpr unsigned macOffset = 448;
+};
+
+} // namespace morph
+
+#endif // MORPH_COUNTERS_COUNTER_BLOCK_HH

@@ -1,0 +1,85 @@
+#include "counters/counter_factory.hh"
+
+#include "common/log.hh"
+#include "counters/morph_counter.hh"
+#include "counters/rebased_split_counter.hh"
+#include "counters/split_counter.hh"
+
+namespace morph
+{
+
+std::unique_ptr<CounterFormat>
+makeCounterFormat(CounterKind kind)
+{
+    switch (kind) {
+      case CounterKind::SC8:
+        return std::make_unique<SplitCounterFormat>(8);
+      case CounterKind::SC16:
+        return std::make_unique<SplitCounterFormat>(16);
+      case CounterKind::SC32:
+        return std::make_unique<SplitCounterFormat>(32);
+      case CounterKind::SC64:
+        return std::make_unique<SplitCounterFormat>(64);
+      case CounterKind::SC128:
+        return std::make_unique<SplitCounterFormat>(128);
+      case CounterKind::MorphZccOnly:
+        return std::make_unique<MorphableCounterFormat>(false);
+      case CounterKind::Morph:
+        return std::make_unique<MorphableCounterFormat>(true);
+      case CounterKind::MorphSingleBase:
+        return std::make_unique<MorphableCounterFormat>(true, false);
+      case CounterKind::SC64Rebased:
+        return std::make_unique<RebasedSplitCounterFormat>(64);
+    }
+    panic("unknown counter kind %d", int(kind));
+}
+
+unsigned
+counterArity(CounterKind kind)
+{
+    switch (kind) {
+      case CounterKind::SC8:
+        return 8;
+      case CounterKind::SC16:
+        return 16;
+      case CounterKind::SC32:
+        return 32;
+      case CounterKind::SC64:
+      case CounterKind::SC64Rebased:
+        return 64;
+      case CounterKind::SC128:
+      case CounterKind::MorphZccOnly:
+      case CounterKind::Morph:
+      case CounterKind::MorphSingleBase:
+        return 128;
+    }
+    panic("unknown counter kind %d", int(kind));
+}
+
+std::string
+counterKindName(CounterKind kind)
+{
+    switch (kind) {
+      case CounterKind::SC8:
+        return "SC-8";
+      case CounterKind::SC16:
+        return "SC-16";
+      case CounterKind::SC32:
+        return "SC-32";
+      case CounterKind::SC64:
+        return "SC-64";
+      case CounterKind::SC128:
+        return "SC-128";
+      case CounterKind::MorphZccOnly:
+        return "MorphCtr-128-ZCC";
+      case CounterKind::Morph:
+        return "MorphCtr-128";
+      case CounterKind::MorphSingleBase:
+        return "MorphCtr-128-SB";
+      case CounterKind::SC64Rebased:
+        return "SC-64+R";
+    }
+    panic("unknown counter kind %d", int(kind));
+}
+
+} // namespace morph

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Factory for counter-cacheline formats by configuration name.
+ */
+
+#ifndef MORPH_COUNTERS_COUNTER_FACTORY_HH
+#define MORPH_COUNTERS_COUNTER_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "counters/counter_block.hh"
+
+namespace morph
+{
+
+/** Identifiers for the counter organizations studied in the paper. */
+enum class CounterKind
+{
+    SC8,          ///< SGX-like 8-ary split counters
+    SC16,         ///< VAULT upper-level entries
+    SC32,         ///< VAULT level-1 entries
+    SC64,         ///< baseline split counters (Yan et al.)
+    SC128,        ///< naive 128-ary split counters (3-bit minors)
+    MorphZccOnly, ///< MorphCtr-128, rebasing disabled (Fig 11 ablation)
+    Morph,        ///< MorphCtr-128, ZCC + rebasing (the full design)
+    MorphSingleBase, ///< MorphCtr-128 with one shared base (footnote 5)
+    SC64Rebased,  ///< SC-64 + Minor Counter Rebasing (paper §IV-1 note)
+};
+
+/** Construct the format object for @p kind. */
+std::unique_ptr<CounterFormat> makeCounterFormat(CounterKind kind);
+
+/** Arity of @p kind without constructing it. */
+unsigned counterArity(CounterKind kind);
+
+/** Short display name of @p kind. */
+std::string counterKindName(CounterKind kind);
+
+} // namespace morph
+
+#endif // MORPH_COUNTERS_COUNTER_FACTORY_HH

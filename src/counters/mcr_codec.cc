@@ -1,0 +1,127 @@
+#include "counters/mcr_codec.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitfield.hh"
+
+namespace morph
+{
+namespace mcr
+{
+
+namespace
+{
+
+unsigned
+minorOffset(unsigned idx)
+{
+    return minorFieldOffset + idx * minorBits;
+}
+
+} // namespace
+
+bool
+isMcr(const CachelineData &line)
+{
+    return testBit(line, fOffset);
+}
+
+void
+init(CachelineData &line, std::uint64_t major, unsigned base_value)
+{
+    line.fill(0);
+    setBit(line, fOffset, true);
+    assert((major >> majorBits) == 0);
+    writeBits(line, majorOffset, majorBits, major);
+    setBase(line, 0, base_value);
+    setBase(line, 1, base_value);
+}
+
+std::uint64_t
+majorOf(const CachelineData &line)
+{
+    return readBits(line, majorOffset, majorBits);
+}
+
+unsigned
+base(const CachelineData &line, unsigned set)
+{
+    assert(set < numSets);
+    return unsigned(readBits(line, base0Offset + set * baseBits,
+                             baseBits));
+}
+
+void
+setBase(CachelineData &line, unsigned set, unsigned value)
+{
+    assert(set < numSets && value <= baseMax);
+    writeBits(line, base0Offset + set * baseBits, baseBits, value);
+}
+
+std::uint64_t
+minorValue(const CachelineData &line, unsigned idx)
+{
+    assert(idx < numCounters);
+    return readBits(line, minorOffset(idx), minorBits);
+}
+
+void
+setMinor(CachelineData &line, unsigned idx, std::uint64_t value)
+{
+    assert(idx < numCounters && value <= minorMax);
+    writeBits(line, minorOffset(idx), minorBits, value);
+}
+
+std::uint64_t
+effective(const CachelineData &line, unsigned idx)
+{
+    const unsigned set = idx / setSize;
+    return ((majorOf(line) << baseBits) | base(line, set)) +
+           minorValue(line, idx);
+}
+
+std::uint64_t
+minMinor(const CachelineData &line, unsigned set)
+{
+    assert(set < numSets);
+    std::uint64_t lowest = minorMax;
+    for (unsigned i = 0; i < setSize; ++i)
+        lowest = std::min(lowest, minorValue(line, set * setSize + i));
+    return lowest;
+}
+
+std::uint64_t
+maxMinor(const CachelineData &line, unsigned set)
+{
+    assert(set < numSets);
+    std::uint64_t highest = 0;
+    for (unsigned i = 0; i < setSize; ++i)
+        highest = std::max(highest, minorValue(line, set * setSize + i));
+    return highest;
+}
+
+std::uint64_t
+maxEffective(const CachelineData &line)
+{
+    const std::uint64_t major = majorOf(line);
+    std::uint64_t best = 0;
+    for (unsigned set = 0; set < numSets; ++set) {
+        const std::uint64_t base_part =
+            (major << baseBits) | base(line, set);
+        best = std::max(best, base_part + maxMinor(line, set));
+    }
+    return best;
+}
+
+unsigned
+nonZeroCount(const CachelineData &line)
+{
+    unsigned count = 0;
+    for (unsigned i = 0; i < numCounters; ++i)
+        count += minorValue(line, i) != 0;
+    return count;
+}
+
+} // namespace mcr
+} // namespace morph

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Minor Counter Rebasing (MCR) cacheline codec (paper Fig 13b).
+ *
+ * When more than 64 of the 128 counters are in use, the line switches
+ * to a uniform double-base representation: two independent 7-bit bases
+ * (one per set of 64 children, i.e. one per 4 KB page at the
+ * encryption-counter level) and 128 uniform 3-bit minor counters. The
+ * effective value of child i in set s is
+ *
+ *   ((major << 7) | base_s) + minor_i
+ *
+ * A saturated minor is handled by *rebasing*: base_s advances by the
+ * smallest minor in the set and all minors shrink by that amount,
+ * leaving every other child's effective value unchanged — no
+ * re-encryption. Only when the smallest minor is zero (or a base
+ * saturates) does a reset occur.
+ *
+ * Layout (bit offsets):
+ *
+ *   [0,1)     F format flag (1 = MCR/uniform)
+ *   [1,50)    major counter (49 bits)
+ *   [50,57)   base of set 0
+ *   [57,64)   base of set 1
+ *   [64,256)  minors of set 0 (64 x 3 bits)
+ *   [256,448) minors of set 1 (64 x 3 bits)
+ *   [448,512) MAC
+ */
+
+#ifndef MORPH_COUNTERS_MCR_CODEC_HH
+#define MORPH_COUNTERS_MCR_CODEC_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace morph
+{
+namespace mcr
+{
+
+constexpr unsigned numCounters = 128;
+constexpr unsigned setSize = 64;
+constexpr unsigned numSets = 2;
+
+constexpr unsigned fOffset = 0;
+constexpr unsigned majorOffset = 1;
+constexpr unsigned majorBits = 49;
+constexpr unsigned baseBits = 7;
+constexpr unsigned base0Offset = 50;
+constexpr unsigned minorBits = 3;
+constexpr unsigned minorFieldOffset = 64;
+constexpr std::uint64_t minorMax = (1u << minorBits) - 1; // 7
+constexpr std::uint64_t baseMax = (1u << baseBits) - 1;   // 127
+
+/** True if the line's format flag selects MCR/uniform. */
+bool isMcr(const CachelineData &line);
+
+/**
+ * Initialize an MCR image: major = @p major (49 bits), both bases =
+ * @p base, all minors zero. Used when morphing from ZCC, where
+ * major/base derive from the ZCC major's high/low bits.
+ */
+void init(CachelineData &line, std::uint64_t major, unsigned base);
+
+/** Read the 49-bit major counter. */
+std::uint64_t majorOf(const CachelineData &line);
+
+/** Base of set @p set (0 or 1). */
+unsigned base(const CachelineData &line, unsigned set);
+
+/** Write the base of set @p set. */
+void setBase(CachelineData &line, unsigned set, unsigned value);
+
+/** Minor counter of child @p idx. */
+std::uint64_t minorValue(const CachelineData &line, unsigned idx);
+
+/** Write the minor counter of child @p idx. */
+void setMinor(CachelineData &line, unsigned idx, std::uint64_t value);
+
+/** Effective counter value of child @p idx. */
+std::uint64_t effective(const CachelineData &line, unsigned idx);
+
+/** Smallest minor within set @p set. */
+std::uint64_t minMinor(const CachelineData &line, unsigned set);
+
+/** Largest minor within set @p set. */
+std::uint64_t maxMinor(const CachelineData &line, unsigned set);
+
+/** Largest effective value across the whole line. */
+std::uint64_t maxEffective(const CachelineData &line);
+
+/** Number of children with non-zero minors. */
+unsigned nonZeroCount(const CachelineData &line);
+
+} // namespace mcr
+} // namespace morph
+
+#endif // MORPH_COUNTERS_MCR_CODEC_HH

@@ -1,0 +1,224 @@
+#include "counters/morph_counter.hh"
+
+#include <cassert>
+
+#include "common/log.hh"
+#include "counters/mcr_codec.hh"
+#include "counters/zcc_codec.hh"
+
+namespace morph
+{
+
+void
+MorphableCounterFormat::init(CachelineData &line) const
+{
+    zcc::init(line, 0);
+}
+
+bool
+MorphableCounterFormat::inZccFormat(const CachelineData &line) const
+{
+    return zcc::isZcc(line);
+}
+
+bool
+MorphableCounterFormat::wellFormed(const CachelineData &line) const
+{
+    return zcc::isZcc(line) ? zcc::isWellFormed(line) : true;
+}
+
+std::uint64_t
+MorphableCounterFormat::read(const CachelineData &line, unsigned idx) const
+{
+    assert(idx < arity());
+    if (zcc::isZcc(line))
+        return zcc::majorOf(line) + zcc::minorValue(line, idx);
+    return mcr::effective(line, idx);
+}
+
+unsigned
+MorphableCounterFormat::nonZeroCount(const CachelineData &line) const
+{
+    return zcc::isZcc(line) ? zcc::count(line) : mcr::nonZeroCount(line);
+}
+
+WriteResult
+MorphableCounterFormat::increment(CachelineData &line, unsigned idx) const
+{
+    assert(idx < arity());
+    return zcc::isZcc(line) ? incrementZcc(line, idx)
+                            : incrementMcr(line, idx);
+}
+
+/**
+ * Overflow reset (any representation -> empty ZCC).
+ *
+ * The new ZCC major is (largest effective value in the line) + 1: a
+ * single rule that subsumes the paper's per-case increments
+ * (MajorCtr += Largest+1 for ZCC resets, MajorCtr += 2 for MCR base
+ * overflow) while guaranteeing every child's new effective value
+ * strictly exceeds its old one. All 128 children must be re-encrypted.
+ */
+WriteResult
+MorphableCounterFormat::fullReset(CachelineData &line) const
+{
+    WriteResult result;
+    result.overflow = true;
+    result.reencBegin = 0;
+    result.reencEnd = 128;
+    result.usedBefore = std::uint16_t(nonZeroCount(line));
+
+    std::uint64_t new_major;
+    if (zcc::isZcc(line)) {
+        new_major = zcc::majorOf(line) + zcc::largestMinor(line) + 1;
+    } else {
+        new_major = mcr::maxEffective(line) + 1;
+        result.formatSwitch = true;
+    }
+    if ((new_major >> zcc::majorBits) != 0)
+        panic("morph counter: 57-bit major counter exhausted");
+    zcc::resetAll(line, new_major);
+    return result;
+}
+
+/**
+ * Morph from ZCC to MCR because the 65th counter just became non-zero.
+ * Lossless when every live minor fits a 3-bit field; the caller falls
+ * back to fullReset() otherwise.
+ */
+WriteResult
+MorphableCounterFormat::convertToMcr(CachelineData &line,
+                                     unsigned idx) const
+{
+    const std::uint64_t zmajor = zcc::majorOf(line);
+    const std::uint64_t major49 = zmajor >> mcr::baseBits;
+    const unsigned base = unsigned(zmajor & mcr::baseMax);
+    if ((major49 >> mcr::majorBits) != 0)
+        panic("morph counter: 49-bit MCR major exhausted");
+
+    // Snapshot minors (and the MAC, which init() would clear).
+    std::uint64_t minors[mcr::numCounters];
+    for (unsigned i = 0; i < mcr::numCounters; ++i)
+        minors[i] = zcc::minorValue(line, i);
+    const std::uint64_t tag = mac(line);
+
+    mcr::init(line, major49, base);
+    for (unsigned i = 0; i < mcr::numCounters; ++i)
+        if (minors[i] != 0)
+            mcr::setMinor(line, i, minors[i]);
+    mcr::setMinor(line, idx, 1);
+    setMac(line, tag);
+
+    WriteResult result;
+    result.formatSwitch = true;
+    return result;
+}
+
+WriteResult
+MorphableCounterFormat::incrementZcc(CachelineData &line,
+                                     unsigned idx) const
+{
+    if (zcc::isNonZero(line, idx)) {
+        const std::uint64_t value = zcc::minorValue(line, idx);
+        const unsigned size = zcc::ctrSz(line);
+        const std::uint64_t max = (1ull << size) - 1;
+        if (value < max) {
+            zcc::setMinor(line, idx, value + 1);
+            return WriteResult{};
+        }
+        return fullReset(line);
+    }
+
+    const unsigned k = zcc::count(line);
+    if (k + 1 > zcc::maxNonZero) {
+        // 65th live counter: morph to the dense representation if the
+        // live minors fit 3 bits, else reset.
+        if (zcc::largestMinor(line) <= mcr::minorMax)
+            return convertToMcr(line, idx);
+        return fullReset(line);
+    }
+
+    if (zcc::insertNonZero(line, idx))
+        return WriteResult{};
+    // Some live counter no longer fits the narrower width.
+    return fullReset(line);
+}
+
+WriteResult
+MorphableCounterFormat::incrementMcr(CachelineData &line,
+                                     unsigned idx) const
+{
+    const std::uint64_t value = mcr::minorValue(line, idx);
+    if (value < mcr::minorMax) {
+        mcr::setMinor(line, idx, value + 1);
+        return WriteResult{};
+    }
+
+    if (!rebasing_) {
+        // ZCC-only ablation: the dense format behaves like a uniform
+        // 128 x 3-bit split counter and resets on overflow.
+        return fullReset(line);
+    }
+
+    // Rebasing granularity: one 64-child set (double-base, 4 KB
+    // pages) or the whole 128-child line (single-base variant).
+    const unsigned begin =
+        doubleBase_ ? (idx / mcr::setSize) * mcr::setSize : 0;
+    const unsigned end =
+        doubleBase_ ? begin + mcr::setSize : mcr::numCounters;
+
+    std::uint64_t smallest = mcr::minorMax;
+    std::uint64_t largest = 0;
+    for (unsigned i = begin; i < end; ++i) {
+        const std::uint64_t v = mcr::minorValue(line, i);
+        smallest = std::min(smallest, v);
+        largest = std::max(largest, v);
+    }
+    const unsigned base = mcr::base(line, doubleBase_
+                                              ? idx / mcr::setSize
+                                              : 0);
+
+    const auto set_base = [&](unsigned value) {
+        if (doubleBase_) {
+            mcr::setBase(line, idx / mcr::setSize, value);
+        } else {
+            mcr::setBase(line, 0, value);
+            mcr::setBase(line, 1, value);
+        }
+    };
+
+    if (smallest > 0) {
+        // Rebase: advance the base by the smallest minor; other
+        // children keep (base + smallest) + (minor - smallest) ==
+        // base + minor, so nothing is re-encrypted. The written child
+        // then has room to increment.
+        if (base + smallest > mcr::baseMax)
+            return fullReset(line); // base overflow -> back to ZCC
+        set_base(unsigned(base + smallest));
+        for (unsigned i = begin; i < end; ++i)
+            mcr::setMinor(line, i,
+                          mcr::minorValue(line, i) - smallest);
+        mcr::setMinor(line, idx, mcr::minorValue(line, idx) + 1);
+        WriteResult result;
+        result.rebase = true;
+        return result;
+    }
+
+    // Smallest minor is zero: rebasing is impossible; reset this
+    // rebasing group (base += largest + 1), re-encrypting its
+    // children.
+    if (base + largest + 1 > mcr::baseMax)
+        return fullReset(line); // base overflow -> back to ZCC
+
+    WriteResult result;
+    result.overflow = true;
+    result.reencBegin = std::uint16_t(begin);
+    result.reencEnd = std::uint16_t(end);
+    result.usedBefore = std::uint16_t(nonZeroCount(line));
+    set_base(unsigned(base + largest + 1));
+    for (unsigned i = begin; i < end; ++i)
+        mcr::setMinor(line, i, 0);
+    return result;
+}
+
+} // namespace morph

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Morphable Counters: 128 counters per cacheline (the paper's core).
+ *
+ * A morphable counter line dynamically switches representation based
+ * on usage:
+ *
+ *  - ZCC (zcc_codec.hh) while at most 64 children are non-zero:
+ *    utility-based widths give hot counters up to 16 bits, making
+ *    sparse usage (typical of integrity-tree levels) overflow-tolerant.
+ *
+ *  - MCR (mcr_codec.hh) once more than 64 children are in use:
+ *    uniform 3-bit minors with per-set rebasing absorb the uniform
+ *    write patterns of streaming workloads without re-encryption.
+ *
+ * The `rebasing` configuration flag selects between the full design
+ * (ZCC+Rebasing, the paper's MorphCtr-128) and the ZCC-only ablation
+ * of Fig 11, in which the dense representation resets on overflow
+ * instead of rebasing.
+ *
+ * Security invariant maintained by every path: the effective value of
+ * each child is strictly increasing across writes, and any mutation
+ * that changes a non-written child's effective value reports that
+ * child in the WriteResult re-encryption range.
+ */
+
+#ifndef MORPH_COUNTERS_MORPH_COUNTER_HH
+#define MORPH_COUNTERS_MORPH_COUNTER_HH
+
+#include "counters/counter_block.hh"
+
+namespace morph
+{
+
+/** MorphCtr-128 format (ZCC + optional MCR rebasing). */
+class MorphableCounterFormat : public CounterFormat
+{
+  public:
+    /**
+     * @param rebasing    enable Minor Counter Rebasing (paper §IV)
+     * @param double_base two independent 7-bit bases, one per 64-child
+     *        set (one per 4 KB page at the encryption level). Pass
+     *        false for the single-base variant the paper recommends
+     *        for page sizes other than 4 KB (its footnote 5): both
+     *        base fields move together and rebasing considers all 128
+     *        minors at once.
+     */
+    explicit MorphableCounterFormat(bool rebasing = true,
+                                    bool double_base = true)
+        : rebasing_(rebasing), doubleBase_(double_base)
+    {}
+
+    unsigned arity() const override { return 128; }
+    void init(CachelineData &line) const override;
+    std::uint64_t read(const CachelineData &line,
+                       unsigned idx) const override;
+    WriteResult increment(CachelineData &line, unsigned idx) const override;
+    unsigned nonZeroCount(const CachelineData &line) const override;
+
+    const char *
+    name() const override
+    {
+        if (!rebasing_)
+            return "MorphCtr-128-ZCC";
+        return doubleBase_ ? "MorphCtr-128" : "MorphCtr-128-SB";
+    }
+
+    /** True while the line is in the sparse ZCC representation. */
+    bool inZccFormat(const CachelineData &line) const;
+
+    /**
+     * Structural validity of a (possibly attacker-supplied) image.
+     * MCR images are fixed-layout and always decodable; ZCC images
+     * must pass zcc::isWellFormed() or a forged Ctr-Sz could index
+     * outside the payload. Controllers decoding untrusted lines call
+     * this after MAC verification, before read()/increment().
+     */
+    bool wellFormed(const CachelineData &line) const;
+
+    bool rebasingEnabled() const { return rebasing_; }
+    bool doubleBaseEnabled() const { return doubleBase_; }
+
+  private:
+    WriteResult fullReset(CachelineData &line) const;
+    WriteResult convertToMcr(CachelineData &line, unsigned idx) const;
+    WriteResult incrementZcc(CachelineData &line, unsigned idx) const;
+    WriteResult incrementMcr(CachelineData &line, unsigned idx) const;
+
+    bool rebasing_;
+    bool doubleBase_;
+};
+
+} // namespace morph
+
+#endif // MORPH_COUNTERS_MORPH_COUNTER_HH

@@ -1,0 +1,55 @@
+#include "counters/overflow_model.hh"
+
+#include <cassert>
+
+namespace morph
+{
+
+std::uint64_t
+writesToOverflow(const CounterFormat &format, unsigned used,
+                 std::uint64_t max_writes)
+{
+    assert(used >= 1 && used <= format.arity());
+
+    CachelineData line;
+    format.init(line);
+
+    std::uint64_t writes = 0;
+    unsigned next = 0;
+    while (writes < max_writes) {
+        ++writes;
+        const WriteResult result = format.increment(line, next);
+        if (result.overflow)
+            return writes;
+        next = (next + 1) % used;
+    }
+    return max_writes;
+}
+
+std::uint64_t
+adversarialWritesToOverflow(const CounterFormat &format, unsigned primed)
+{
+    assert(primed >= 1 && primed <= format.arity());
+
+    CachelineData line;
+    format.init(line);
+
+    std::uint64_t writes = 0;
+    // Phase 1: one write each to `primed` children (children 1..primed
+    // so the hammered child 0 stays zero until phase 2 when primed <
+    // arity; the paper's 52-counter pattern primes disjoint children).
+    for (unsigned i = 0; i < primed; ++i) {
+        ++writes;
+        const unsigned child = (i + 1) % format.arity();
+        if (format.increment(line, child).overflow)
+            return writes;
+    }
+    // Phase 2: hammer child 0.
+    while (true) {
+        ++writes;
+        if (format.increment(line, 0).overflow)
+            return writes;
+    }
+}
+
+} // namespace morph

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Writes-to-overflow characterization of counter formats.
+ *
+ * Reproduces the analytical experiments of paper Figs 6 and 10: given
+ * a counter organization and a fraction of the counters in a line
+ * receiving (uniform round-robin) writes, how many writes does the
+ * line tolerate before its first overflow reset?
+ */
+
+#ifndef MORPH_COUNTERS_OVERFLOW_MODEL_HH
+#define MORPH_COUNTERS_OVERFLOW_MODEL_HH
+
+#include <cstdint>
+
+#include "counters/counter_block.hh"
+
+namespace morph
+{
+
+/**
+ * Count writes until the first overflow of a fresh counter line when
+ * @p used of its children are written round-robin (the paper's
+ * "uniform writes to the fraction of counters used" assumption).
+ *
+ * @param format   counter organization under test
+ * @param used     number of distinct children written (1..arity)
+ * @param max_writes safety cap; returns the cap if no overflow by then
+ * @return number of writes completed when the first overflow occurs
+ *         (the overflowing write is included in the count)
+ */
+std::uint64_t writesToOverflow(const CounterFormat &format, unsigned used,
+                               std::uint64_t max_writes = 1ull << 24);
+
+/**
+ * Worst-case adversarial writes-to-overflow for MorphCtr-128 (§V of
+ * the paper): write once to @p primed children to shrink the ZCC
+ * width, then hammer a single child. Returns total writes at the
+ * first overflow.
+ */
+std::uint64_t adversarialWritesToOverflow(const CounterFormat &format,
+                                          unsigned primed);
+
+} // namespace morph
+
+#endif // MORPH_COUNTERS_OVERFLOW_MODEL_HH

@@ -1,0 +1,116 @@
+#include "counters/rebased_split_counter.hh"
+
+#include <algorithm>
+
+#include "common/bitfield.hh"
+#include "common/log.hh"
+
+namespace morph
+{
+
+RebasedSplitCounterFormat::RebasedSplitCounterFormat(unsigned arity)
+    : arity_(arity)
+{
+    if (arity == 0 || minorFieldBits % arity != 0)
+        fatal("rebased split counter: arity %u does not divide 384",
+              arity);
+    minorBits_ = minorFieldBits / arity;
+    if (minorBits_ > 56)
+        fatal("rebased split counter: oversized minors");
+    minorMax_ = (1ull << minorBits_) - 1;
+    name_ = "SC-" + std::to_string(arity) + "+R";
+}
+
+void
+RebasedSplitCounterFormat::init(CachelineData &line) const
+{
+    line.fill(0);
+}
+
+std::uint64_t
+RebasedSplitCounterFormat::combinedBase(const CachelineData &line) const
+{
+    return (readBits(line, majorOffset, majorBits) << baseBits) |
+           readBits(line, baseOffset, baseBits);
+}
+
+void
+RebasedSplitCounterFormat::setCombinedBase(CachelineData &line,
+                                           std::uint64_t value) const
+{
+    // major + base span exactly 64 bits; a 64-bit combined value
+    // always fits (and cannot wrap within any system lifetime).
+    writeBits(line, baseOffset, baseBits, value & ((1u << baseBits) - 1));
+    writeBits(line, majorOffset, majorBits, value >> baseBits);
+}
+
+std::uint64_t
+RebasedSplitCounterFormat::minor(const CachelineData &line,
+                                 unsigned idx) const
+{
+    assert(idx < arity_);
+    return readBits(line, minorOffset(idx), minorBits_);
+}
+
+std::uint64_t
+RebasedSplitCounterFormat::read(const CachelineData &line,
+                                unsigned idx) const
+{
+    return combinedBase(line) + minor(line, idx);
+}
+
+WriteResult
+RebasedSplitCounterFormat::increment(CachelineData &line,
+                                     unsigned idx) const
+{
+    assert(idx < arity_);
+    WriteResult result;
+
+    const std::uint64_t value = minor(line, idx);
+    if (value < minorMax_) {
+        writeBits(line, minorOffset(idx), minorBits_, value + 1);
+        return result;
+    }
+
+    // Saturated: rebase if every minor is non-zero.
+    std::uint64_t smallest = minorMax_;
+    std::uint64_t largest = 0;
+    for (unsigned i = 0; i < arity_; ++i) {
+        const std::uint64_t v = minor(line, i);
+        smallest = std::min(smallest, v);
+        largest = std::max(largest, v);
+    }
+
+    if (smallest > 0) {
+        setCombinedBase(line, combinedBase(line) + smallest);
+        for (unsigned i = 0; i < arity_; ++i)
+            writeBits(line, minorOffset(i), minorBits_,
+                      minor(line, i) - smallest);
+        writeBits(line, minorOffset(idx), minorBits_,
+                  minor(line, idx) + 1);
+        result.rebase = true;
+        return result;
+    }
+
+    // A zero minor blocks rebasing: reset, advancing the combined
+    // base past every old effective value.
+    result.overflow = true;
+    result.reencBegin = 0;
+    result.reencEnd = std::uint16_t(arity_);
+    result.usedBefore = std::uint16_t(nonZeroCount(line));
+    setCombinedBase(line, combinedBase(line) + largest + 1);
+    for (unsigned i = 0; i < arity_; ++i)
+        writeBits(line, minorOffset(i), minorBits_, 0);
+    return result;
+}
+
+unsigned
+RebasedSplitCounterFormat::nonZeroCount(const CachelineData &line) const
+{
+    unsigned count = 0;
+    for (unsigned i = 0; i < arity_; ++i)
+        count += minor(line, i) != 0;
+    return count;
+}
+
+} // namespace morph

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Split counters with Minor Counter Rebasing: SC-n+R.
+ *
+ * The paper notes (§IV-1) that "Minor Counter Rebasing as described
+ * is applicable to all existing counter designs up to 64 counters per
+ * cacheline" — this format is that application: the classic SC-n
+ * layout with 7 bits of the major field reinterpreted as a rebasing
+ * base.
+ *
+ *   | major (57b) | base (7b) | n minors (384b) | MAC (64b) |
+ *
+ * The effective value of child i is ((major << 7) | base) + minor_i.
+ * A saturated minor rebases when every minor is non-zero; otherwise
+ * the line resets with the combined major/base advanced past the
+ * largest effective value (no special base-overflow case: major and
+ * base are one 64-bit quantity split across two fields).
+ *
+ * SC-64+R isolates the rebasing contribution of MorphCtr-128 from its
+ * ZCC and arity contributions (see bench/abl_controller_options).
+ */
+
+#ifndef MORPH_COUNTERS_REBASED_SPLIT_COUNTER_HH
+#define MORPH_COUNTERS_REBASED_SPLIT_COUNTER_HH
+
+#include <string>
+
+#include "counters/counter_block.hh"
+
+namespace morph
+{
+
+/** SC-n with rebasing (n must divide 384; minors of 384/n bits). */
+class RebasedSplitCounterFormat : public CounterFormat
+{
+  public:
+    explicit RebasedSplitCounterFormat(unsigned arity);
+
+    unsigned arity() const override { return arity_; }
+    void init(CachelineData &line) const override;
+    std::uint64_t read(const CachelineData &line,
+                       unsigned idx) const override;
+    WriteResult increment(CachelineData &line, unsigned idx) const override;
+    unsigned nonZeroCount(const CachelineData &line) const override;
+    const char *name() const override { return name_.c_str(); }
+
+    unsigned minorBits() const { return minorBits_; }
+
+    /** Combined (major << 7) | base value. */
+    std::uint64_t combinedBase(const CachelineData &line) const;
+
+  private:
+    static constexpr unsigned majorOffset = 0;
+    static constexpr unsigned majorBits = 57;
+    static constexpr unsigned baseOffset = 57;
+    static constexpr unsigned baseBits = 7;
+    static constexpr unsigned minorFieldOffset = 64;
+    static constexpr unsigned minorFieldBits = 384;
+
+    unsigned minorOffset(unsigned idx) const
+    {
+        return minorFieldOffset + idx * minorBits_;
+    }
+
+    std::uint64_t minor(const CachelineData &line, unsigned idx) const;
+    void setCombinedBase(CachelineData &line, std::uint64_t value) const;
+
+    unsigned arity_;
+    unsigned minorBits_;
+    std::uint64_t minorMax_;
+    std::string name_;
+};
+
+} // namespace morph
+
+#endif // MORPH_COUNTERS_REBASED_SPLIT_COUNTER_HH

@@ -1,0 +1,96 @@
+#include "counters/split_counter.hh"
+
+#include "common/bitfield.hh"
+#include "common/log.hh"
+
+namespace morph
+{
+
+std::uint64_t
+CounterFormat::mac(const CachelineData &line)
+{
+    return readBits(line, macOffset, 64);
+}
+
+void
+CounterFormat::setMac(CachelineData &line, std::uint64_t tag)
+{
+    writeBits(line, macOffset, 64, tag);
+}
+
+SplitCounterFormat::SplitCounterFormat(unsigned arity) : arity_(arity)
+{
+    if (arity == 0 || minorFieldBits % arity != 0)
+        fatal("split counter: arity %u does not divide 384 bits", arity);
+    minorBits_ = minorFieldBits / arity;
+    if (minorBits_ > 56)
+        fatal("split counter: arity %u yields oversized minors", arity);
+    minorMax_ = (minorBits_ >= 64) ? ~0ull : ((1ull << minorBits_) - 1);
+    name_ = "SC-" + std::to_string(arity);
+}
+
+void
+SplitCounterFormat::init(CachelineData &line) const
+{
+    line.fill(0);
+}
+
+std::uint64_t
+SplitCounterFormat::major(const CachelineData &line) const
+{
+    return readBits(line, majorOffset, majorBitsWidth);
+}
+
+std::uint64_t
+SplitCounterFormat::minor(const CachelineData &line, unsigned idx) const
+{
+    assert(idx < arity_);
+    return readBits(line, minorOffset(idx), minorBits_);
+}
+
+std::uint64_t
+SplitCounterFormat::read(const CachelineData &line, unsigned idx) const
+{
+    return (major(line) << minorBits_) | minor(line, idx);
+}
+
+WriteResult
+SplitCounterFormat::increment(CachelineData &line, unsigned idx) const
+{
+    assert(idx < arity_);
+    WriteResult result;
+
+    const std::uint64_t value = minor(line, idx);
+    if (value < minorMax_) {
+        writeBits(line, minorOffset(idx), minorBits_, value + 1);
+        return result;
+    }
+
+    // Minor counter saturated: bump the major counter and reset every
+    // minor. All children change effective value — including the
+    // written one, whose post-reset value (major+1) << b exceeds its
+    // previous (major << b) | max, so monotonicity holds.
+    result.usedBefore = std::uint16_t(nonZeroCount(line));
+    const std::uint64_t maj = major(line);
+    if (maj == ~0ull)
+        panic("split counter: 64-bit major counter overflow");
+    writeBits(line, majorOffset, majorBitsWidth, maj + 1);
+    for (unsigned i = 0; i < arity_; ++i)
+        writeBits(line, minorOffset(i), minorBits_, 0);
+
+    result.overflow = true;
+    result.reencBegin = 0;
+    result.reencEnd = std::uint16_t(arity_);
+    return result;
+}
+
+unsigned
+SplitCounterFormat::nonZeroCount(const CachelineData &line) const
+{
+    unsigned count = 0;
+    for (unsigned i = 0; i < arity_; ++i)
+        count += minor(line, i) != 0;
+    return count;
+}
+
+} // namespace morph

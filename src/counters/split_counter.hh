@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Split counters (Yan et al., ISCA 2006), generalized to arity n.
+ *
+ * One 64-byte line holds a 64-bit major counter, n minor counters of
+ * 384/n bits each, and a 64-bit MAC:
+ *
+ *   | major (64b) | minor_0 .. minor_{n-1} (384b total) | MAC (64b) |
+ *
+ * The effective value of child i is (major << minor_bits) | minor_i.
+ * When a minor counter saturates, the major counter is incremented and
+ * ALL minors reset to zero, changing every child's effective value —
+ * an overflow costing n re-encryptions. A saturated n-minor design
+ * therefore tolerates exactly 2^minor_bits writes per overflow in the
+ * single-hot-counter worst case (64 for SC-64, 8 for SC-128; Fig 6).
+ *
+ * Supported arities: 8, 16, 32, 64, 128 (VAULT's levels use 16/32/64).
+ */
+
+#ifndef MORPH_COUNTERS_SPLIT_COUNTER_HH
+#define MORPH_COUNTERS_SPLIT_COUNTER_HH
+
+#include <string>
+
+#include "counters/counter_block.hh"
+
+namespace morph
+{
+
+/** Generic SC-n split-counter format. */
+class SplitCounterFormat : public CounterFormat
+{
+  public:
+    /** @param arity counters per cacheline; must divide 384 evenly */
+    explicit SplitCounterFormat(unsigned arity);
+
+    unsigned arity() const override { return arity_; }
+    void init(CachelineData &line) const override;
+    std::uint64_t read(const CachelineData &line,
+                       unsigned idx) const override;
+    WriteResult increment(CachelineData &line, unsigned idx) const override;
+    unsigned nonZeroCount(const CachelineData &line) const override;
+    const char *name() const override { return name_.c_str(); }
+
+    /** Width of each minor counter in bits (384 / arity). */
+    unsigned minorBits() const { return minorBits_; }
+
+    /** Raw major counter. */
+    std::uint64_t major(const CachelineData &line) const;
+
+    /** Raw minor counter of child @p idx. */
+    std::uint64_t minor(const CachelineData &line, unsigned idx) const;
+
+  private:
+    static constexpr unsigned majorOffset = 0;
+    static constexpr unsigned majorBitsWidth = 64;
+    static constexpr unsigned minorFieldOffset = 64;
+    static constexpr unsigned minorFieldBits = 384;
+
+    unsigned minorOffset(unsigned idx) const
+    {
+        return minorFieldOffset + idx * minorBits_;
+    }
+
+    unsigned arity_;
+    unsigned minorBits_;
+    std::uint64_t minorMax_;
+    std::string name_;
+};
+
+} // namespace morph
+
+#endif // MORPH_COUNTERS_SPLIT_COUNTER_HH

@@ -1,0 +1,190 @@
+#include "counters/zcc_codec.hh"
+
+#include <cassert>
+
+#include "common/bitfield.hh"
+
+namespace morph
+{
+namespace zcc
+{
+
+namespace
+{
+
+/** Rank of child @p idx: number of set bits strictly below it. */
+unsigned
+rankOf(const CachelineData &line, unsigned idx)
+{
+    return idx == 0 ? 0 : popcountBits(line, bvOffset, idx);
+}
+
+/** Bit offset of the rank-th packed counter at width @p size. */
+unsigned
+slotOffset(unsigned rank, unsigned size)
+{
+    return payloadOffset + rank * size;
+}
+
+} // namespace
+
+unsigned
+sizeForCount(unsigned k)
+{
+    assert(k <= maxNonZero);
+    if (k <= 16)
+        return 16;
+    if (k <= 32)
+        return 8;
+    if (k <= 36)
+        return 7;
+    if (k <= 42)
+        return 6;
+    if (k <= 51)
+        return 5;
+    return 4;
+}
+
+bool
+isZcc(const CachelineData &line)
+{
+    return !testBit(line, fOffset);
+}
+
+void
+init(CachelineData &line, std::uint64_t major)
+{
+    line.fill(0);
+    setMajor(line, major);
+    writeBits(line, ctrSzOffset, ctrSzBits, sizeForCount(0));
+}
+
+std::uint64_t
+majorOf(const CachelineData &line)
+{
+    return readBits(line, majorOffset, majorBits);
+}
+
+void
+setMajor(CachelineData &line, std::uint64_t major)
+{
+    assert((major >> majorBits) == 0);
+    writeBits(line, majorOffset, majorBits, major);
+}
+
+unsigned
+ctrSz(const CachelineData &line)
+{
+    return unsigned(readBits(line, ctrSzOffset, ctrSzBits));
+}
+
+unsigned
+count(const CachelineData &line)
+{
+    return popcountBits(line, bvOffset, bvBits);
+}
+
+bool
+isNonZero(const CachelineData &line, unsigned idx)
+{
+    assert(idx < numCounters);
+    return testBit(line, bvOffset + idx);
+}
+
+std::uint64_t
+minorValue(const CachelineData &line, unsigned idx)
+{
+    assert(idx < numCounters);
+    if (!isNonZero(line, idx))
+        return 0;
+    const unsigned size = ctrSz(line);
+    return readBits(line, slotOffset(rankOf(line, idx), size), size);
+}
+
+std::uint64_t
+largestMinor(const CachelineData &line)
+{
+    const unsigned k = count(line);
+    const unsigned size = ctrSz(line);
+    std::uint64_t largest = 0;
+    for (unsigned rank = 0; rank < k; ++rank) {
+        const std::uint64_t v = readBits(line, slotOffset(rank, size),
+                                         size);
+        if (v > largest)
+            largest = v;
+    }
+    return largest;
+}
+
+void
+setMinor(CachelineData &line, unsigned idx, std::uint64_t value)
+{
+    assert(isNonZero(line, idx));
+    const unsigned size = ctrSz(line);
+    assert(value != 0 && (size == 64 || (value >> size) == 0));
+    writeBits(line, slotOffset(rankOf(line, idx), size), size, value);
+}
+
+bool
+insertNonZero(CachelineData &line, unsigned idx)
+{
+    assert(idx < numCounters && !isNonZero(line, idx));
+
+    const unsigned k = count(line);
+    assert(k < maxNonZero);
+    const unsigned old_size = ctrSz(line);
+    const unsigned new_size = sizeForCount(k + 1);
+    const std::uint64_t new_max = (1ull << new_size) - 1;
+
+    // Gather current values in rank order.
+    std::uint64_t values[maxNonZero];
+    for (unsigned rank = 0; rank < k; ++rank) {
+        values[rank] = readBits(line, slotOffset(rank, old_size),
+                                old_size);
+        if (values[rank] > new_max)
+            return false; // does not fit after the shrink -> overflow
+    }
+
+    // Splice the new counter (value 1) at its rank position.
+    const unsigned new_rank = rankOf(line, idx);
+    for (unsigned rank = k; rank > new_rank; --rank)
+        values[rank] = values[rank - 1];
+    values[new_rank] = 1;
+
+    // Re-encode at the new width. Clear the payload first so stale
+    // high slots from the wider encoding cannot survive.
+    setBit(line, bvOffset + idx, true);
+    writeBits(line, ctrSzOffset, ctrSzBits, new_size);
+    for (unsigned bit = 0; bit < payloadBits; bit += 64)
+        writeBits(line, payloadOffset + bit, 64, 0);
+    for (unsigned rank = 0; rank <= k; ++rank)
+        writeBits(line, slotOffset(rank, new_size), new_size,
+                  values[rank]);
+    return true;
+}
+
+bool
+isWellFormed(const CachelineData &line)
+{
+    if (!isZcc(line))
+        return false;
+    const unsigned live = count(line);
+    if (live > maxNonZero)
+        return false;
+    return ctrSz(line) == sizeForCount(live);
+}
+
+void
+resetAll(CachelineData &line, std::uint64_t new_major)
+{
+    for (unsigned bit = 0; bit < bvBits; bit += 64)
+        writeBits(line, bvOffset + bit, 64, 0);
+    for (unsigned bit = 0; bit < payloadBits; bit += 64)
+        writeBits(line, payloadOffset + bit, 64, 0);
+    writeBits(line, ctrSzOffset, ctrSzBits, sizeForCount(0));
+    setBit(line, fOffset, false);
+    setMajor(line, new_major);
+}
+
+} // namespace zcc
+} // namespace morph

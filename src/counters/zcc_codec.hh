@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Zero Counter Compression (ZCC) cacheline codec (paper Fig 8).
+ *
+ * ZCC packs 128 logical counters into one line by storing only the
+ * non-zero minor counters: a 128-bit bit-vector marks which children
+ * are non-zero and the 256-bit payload is divided evenly among them.
+ * With k non-zero counters each gets sizeForCount(k) bits:
+ *
+ *   k <= 16 -> 16b,  <= 32 -> 8b,  <= 36 -> 7b,
+ *   k <= 42 ->  6b,  <= 51 -> 5b,  <= 64 -> 4b.
+ *
+ * Layout (bit offsets; bit 0 = LSB of byte 0):
+ *
+ *   [0,1)    F format flag (0 = ZCC)
+ *   [1,7)    Ctr-Sz: current per-counter width
+ *   [7,64)   major counter (57 bits; effective values use <= 56)
+ *   [64,192) non-zero bit-vector (128 bits)
+ *   [192,448) packed non-zero counters, rank order
+ *   [448,512) MAC
+ *
+ * Deviation from Fig 8: the paper draws the format field after the
+ * major counter; we place the F bit at a fixed position (bit 0) shared
+ * with the MCR layout so a decoder can dispatch on it before parsing.
+ * Field widths and semantics are unchanged.
+ */
+
+#ifndef MORPH_COUNTERS_ZCC_CODEC_HH
+#define MORPH_COUNTERS_ZCC_CODEC_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace morph
+{
+namespace zcc
+{
+
+constexpr unsigned numCounters = 128;
+constexpr unsigned maxNonZero = 64;
+
+constexpr unsigned fOffset = 0;
+constexpr unsigned ctrSzOffset = 1;
+constexpr unsigned ctrSzBits = 6;
+constexpr unsigned majorOffset = 7;
+constexpr unsigned majorBits = 57;
+constexpr unsigned bvOffset = 64;
+constexpr unsigned bvBits = 128;
+constexpr unsigned payloadOffset = 192;
+constexpr unsigned payloadBits = 256;
+
+/** Per-counter width (bits) when @p k counters are non-zero (k<=64). */
+unsigned sizeForCount(unsigned k);
+
+/** True if the line's format flag selects ZCC. */
+bool isZcc(const CachelineData &line);
+
+/** Initialize to the all-zero ZCC state (major = given value). */
+void init(CachelineData &line, std::uint64_t major = 0);
+
+/** Read the 57-bit major counter. */
+std::uint64_t majorOf(const CachelineData &line);
+
+/** Write the 57-bit major counter. */
+void setMajor(CachelineData &line, std::uint64_t major);
+
+/** Stored Ctr-Sz field. */
+unsigned ctrSz(const CachelineData &line);
+
+/** Number of non-zero counters (bit-vector popcount). */
+unsigned count(const CachelineData &line);
+
+/** True if child @p idx has a non-zero minor. */
+bool isNonZero(const CachelineData &line, unsigned idx);
+
+/** Minor counter of child @p idx (0 when its bit is clear). */
+std::uint64_t minorValue(const CachelineData &line, unsigned idx);
+
+/** Largest minor counter in the line (0 if none set). */
+std::uint64_t largestMinor(const CachelineData &line);
+
+/**
+ * Overwrite the minor of an already-non-zero child. @p value must be
+ * non-zero and fit in the current counter size.
+ */
+void setMinor(CachelineData &line, unsigned idx, std::uint64_t value);
+
+/**
+ * Make child @p idx non-zero with value 1, re-packing counters to the
+ * (possibly smaller) width for the new population.
+ *
+ * @retval false if some existing counter does not fit the new width —
+ *         the line is left unmodified and the caller must reset
+ * @pre  child @p idx is currently zero and count() < 64
+ */
+bool insertNonZero(CachelineData &line, unsigned idx);
+
+/**
+ * Overflow reset: clear the bit-vector and all minors, set the major
+ * counter to @p new_major (callers pass max-effective-value + 1 to
+ * guarantee counter-value monotonicity).
+ */
+void resetAll(CachelineData &line, std::uint64_t new_major);
+
+/**
+ * Structural validity of a (possibly attacker-supplied) ZCC image:
+ * the format flag selects ZCC, at most 64 counters are live, and the
+ * stored Ctr-Sz matches the live population. Decoders must gate on
+ * this (after MAC verification) before interpreting fields — a forged
+ * Ctr-Sz would otherwise index past the payload.
+ */
+bool isWellFormed(const CachelineData &line);
+
+} // namespace zcc
+} // namespace morph
+
+#endif // MORPH_COUNTERS_ZCC_CODEC_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * AES-128 block cipher (FIPS-197), software implementation.
+ *
+ * Used as the block cipher for counter-mode encryption of data
+ * cachelines (Fig 2 of the paper). The implementation favours clarity
+ * and portability: S-box based SubBytes with table-accelerated
+ * MixColumns. Verified against the FIPS-197 appendix vectors in the
+ * test suite.
+ *
+ * Note: this software AES models *functionality* only. In the timing
+ * model the AES latency is assumed hidden by OTP precomputation,
+ * exactly as in the paper and in SGX.
+ */
+
+#ifndef MORPH_CRYPTO_AES128_HH
+#define MORPH_CRYPTO_AES128_HH
+
+#include <array>
+#include <cstdint>
+
+namespace morph
+{
+
+/** AES-128: 16-byte block, 16-byte key, 10 rounds. */
+class Aes128
+{
+  public:
+    static constexpr std::size_t blockBytes = 16;
+    static constexpr std::size_t keyBytes = 16;
+
+    using Block = std::array<std::uint8_t, blockBytes>;
+    using Key = std::array<std::uint8_t, keyBytes>;
+
+    /** Expand @p key into the round-key schedule. */
+    explicit Aes128(const Key &key);
+
+    /** Encrypt one 16-byte block. */
+    Block encrypt(const Block &plaintext) const;
+
+    /** Decrypt one 16-byte block. */
+    Block decrypt(const Block &ciphertext) const;
+
+  private:
+    // Round keys: (rounds + 1) x 4 words.
+    static constexpr unsigned rounds = 10;
+    std::array<std::uint32_t, 4 * (rounds + 1)> roundKeys_;
+};
+
+} // namespace morph
+
+#endif // MORPH_CRYPTO_AES128_HH

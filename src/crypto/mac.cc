@@ -1,0 +1,42 @@
+#include "crypto/mac.hh"
+
+#include <cassert>
+#include <cstring>
+
+namespace morph
+{
+
+std::uint64_t
+MacEngine::compute(LineAddr line, std::uint64_t counter,
+                   const CachelineData &payload, unsigned tag_bits) const
+{
+    assert(tag_bits >= 1 && tag_bits <= 64);
+
+    // Serialize (line || counter || payload) and PRF the buffer.
+    std::uint8_t buf[8 + 8 + lineBytes];
+    std::memcpy(buf, &line, 8);
+    std::memcpy(buf + 8, &counter, 8);
+    std::memcpy(buf + 16, payload.data(), lineBytes);
+
+    const std::uint64_t tag = siphash24(buf, sizeof(buf), key_);
+    return tag_bits == 64 ? tag : (tag & ((1ull << tag_bits) - 1));
+}
+
+bool
+MacEngine::equal(std::uint64_t a, std::uint64_t b, unsigned tag_bits)
+{
+    assert(tag_bits >= 1 && tag_bits <= 64);
+    const std::uint64_t mask =
+        tag_bits == 64 ? ~0ull : ((1ull << tag_bits) - 1);
+    // Branch-free compare: fold the difference to a single bit.
+    std::uint64_t diff = (a ^ b) & mask;
+    diff |= diff >> 32;
+    diff |= diff >> 16;
+    diff |= diff >> 8;
+    diff |= diff >> 4;
+    diff |= diff >> 2;
+    diff |= diff >> 1;
+    return (diff & 1) == 0;
+}
+
+} // namespace morph

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Message Authentication Codes for data and counter-tree entries.
+ *
+ * A MAC binds together {address, counter, payload} so that splicing
+ * (moving a line), tampering (changing bytes), and replay (restoring
+ * an old {data, MAC, counter} tuple) are all detectable — replay is
+ * detectable only because the counter itself is protected by the
+ * integrity tree (see src/integrity).
+ *
+ * The paper uses Carter-Wegman style MACs (SGX) / AES-GCM (Yan et al.);
+ * we use SipHash-2-4 as the PRF. Tags can be truncated: the Synergy
+ * in-line layout stores 54-bit MACs alongside a SEC code, tree entries
+ * store 64-bit MACs (Fig 8).
+ */
+
+#ifndef MORPH_CRYPTO_MAC_HH
+#define MORPH_CRYPTO_MAC_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "crypto/siphash.hh"
+
+namespace morph
+{
+
+/** Keyed MAC engine over (address, counter, payload) tuples. */
+class MacEngine
+{
+  public:
+    explicit MacEngine(const SipKey &key) : key_(key) {}
+
+    /**
+     * MAC of a data or metadata cacheline.
+     *
+     * @param line    address of the protected line
+     * @param counter effective counter value protecting the line
+     * @param payload the 64-byte line contents (plaintext or encoded
+     *                counter block, per the caller's convention)
+     * @param tag_bits tag truncation width (1..64)
+     */
+    std::uint64_t compute(LineAddr line, std::uint64_t counter,
+                          const CachelineData &payload,
+                          unsigned tag_bits = 64) const;
+
+    /**
+     * Constant-time comparison of two tags of @p tag_bits width.
+     *
+     * @retval true if the tags match
+     */
+    static bool equal(std::uint64_t a, std::uint64_t b,
+                      unsigned tag_bits = 64);
+
+  private:
+    SipKey key_;
+};
+
+} // namespace morph
+
+#endif // MORPH_CRYPTO_MAC_HH

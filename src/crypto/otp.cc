@@ -1,0 +1,41 @@
+#include "crypto/otp.hh"
+
+#include <cassert>
+#include <cstring>
+
+namespace morph
+{
+
+CachelineData
+OtpEngine::pad(LineAddr line, std::uint64_t counter) const
+{
+    // Effective counters are at most 56 bits wide in every counter
+    // format, leaving the top byte of the seed free for the block index.
+    assert((counter >> 56) == 0);
+    CachelineData out;
+    for (unsigned block = 0; block < lineBytes / Aes128::blockBytes;
+         ++block) {
+        Aes128::Block seed{};
+        std::memcpy(seed.data(), &line, 8);
+        std::uint64_t ctr_and_block = counter;
+        std::memcpy(seed.data() + 8, &ctr_and_block, 8);
+        // Fold the block index into the last byte: counters are <= 56
+        // bits, so the top byte of the second word is free.
+        seed[15] = std::uint8_t(block);
+        const Aes128::Block pad_block = cipher_.encrypt(seed);
+        std::memcpy(out.data() + block * Aes128::blockBytes,
+                    pad_block.data(), Aes128::blockBytes);
+    }
+    return out;
+}
+
+void
+OtpEngine::xorPad(CachelineData &data, LineAddr line,
+                  std::uint64_t counter) const
+{
+    const CachelineData p = pad(line, counter);
+    for (std::size_t i = 0; i < lineBytes; ++i)
+        data[i] ^= p[i];
+}
+
+} // namespace morph

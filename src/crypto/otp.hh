@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Counter-mode encryption of 64-byte cachelines (Fig 2 of the paper).
+ *
+ * A One-Time Pad is derived per line as AES_K(line_addr || counter ||
+ * block_index) for each of the four 16-byte blocks in the line; the
+ * line is encrypted/decrypted by XOR with the pad. Security rests on
+ * never reusing a (line_addr, counter) pair — the property the counter
+ * organizations in src/counters must preserve.
+ */
+
+#ifndef MORPH_CRYPTO_OTP_HH
+#define MORPH_CRYPTO_OTP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "crypto/aes128.hh"
+
+namespace morph
+{
+
+/** Counter-mode cacheline encryption engine. */
+class OtpEngine
+{
+  public:
+    explicit OtpEngine(const Aes128::Key &key) : cipher_(key) {}
+
+    /**
+     * Generate the 64-byte pad for (line, counter).
+     *
+     * The pad for encryption equals the pad for decryption, so callers
+     * use xorPad for both directions.
+     */
+    CachelineData pad(LineAddr line, std::uint64_t counter) const;
+
+    /** XOR @p data in place with the pad for (line, counter). */
+    void xorPad(CachelineData &data, LineAddr line,
+                std::uint64_t counter) const;
+
+  private:
+    Aes128 cipher_;
+};
+
+} // namespace morph
+
+#endif // MORPH_CRYPTO_OTP_HH

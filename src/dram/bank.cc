@@ -1,0 +1,55 @@
+#include "dram/bank.hh"
+
+#include <algorithm>
+
+namespace morph
+{
+
+RowOutcome
+Bank::schedule(const DramConfig &config, std::uint64_t row,
+               bool is_write, Cycle earliest, Cycle act_ready,
+               Cycle &cas_ready, Cycle &act_at)
+{
+    (void)is_write;
+    Cycle start = std::max(earliest, readyAt_);
+    act_at = ~Cycle(0);
+
+    if (rowOpen_ && openRow_ == row) {
+        cas_ready = start;
+        return RowOutcome::Hit;
+    }
+
+    RowOutcome outcome = RowOutcome::Closed;
+    if (rowOpen_) {
+        // Row conflict: precharge first, honoring tRAS since the ACT.
+        outcome = RowOutcome::Conflict;
+        const Cycle pre_at =
+            std::max(start, activatedAt_ + config.cpu(config.tRAS));
+        start = pre_at + config.cpu(config.tRP);
+    }
+
+    const Cycle act = std::max(start, act_ready);
+    act_at = act;
+    activatedAt_ = act;
+    rowOpen_ = true;
+    openRow_ = row;
+    cas_ready = act + config.cpu(config.tRCD);
+    return outcome;
+}
+
+void
+Bank::complete(const DramConfig &config, Cycle cas_at, Cycle data_start,
+               bool is_write)
+{
+    if (is_write) {
+        // Write recovery: the bank is busy until tWR past the burst.
+        readyAt_ = data_start + config.cpu(config.tBURST) +
+                   config.cpu(config.tWR);
+    } else {
+        // Reads pipeline at tCCD; tRTP before a precharge is folded
+        // into the conservative tRAS gate in schedule().
+        readyAt_ = cas_at + config.cpu(config.tCCD);
+    }
+}
+
+} // namespace morph

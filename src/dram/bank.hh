@@ -1,0 +1,73 @@
+/**
+ * @file
+ * DRAM bank state machine (row buffer + availability tracking).
+ *
+ * Each bank tracks its open row and the earliest CPU cycle at which a
+ * new column command may begin. An access classifies as a row-buffer
+ * hit (CAS only), a closed-row access (ACT + CAS) or a row conflict
+ * (PRE + ACT + CAS); the paper's streaming-vs-random workload split
+ * maps directly onto these classes.
+ */
+
+#ifndef MORPH_DRAM_BANK_HH
+#define MORPH_DRAM_BANK_HH
+
+#include <cstdint>
+
+#include "dram/dram_config.hh"
+
+namespace morph
+{
+
+/** Outcome classification of one bank access. */
+enum class RowOutcome : std::uint8_t { Hit, Closed, Conflict };
+
+/** One DRAM bank. */
+class Bank
+{
+  public:
+    /**
+     * Schedule an access's bank-side work.
+     *
+     * @param config   timing parameters
+     * @param row      target row
+     * @param is_write column command direction
+     * @param earliest earliest CPU cycle the command sequence may start
+     * @param act_ready earliest cycle an ACT may issue (tRRD/tFAW from
+     *                  the rank; ignored for row hits)
+     * @param cas_ready out: cycle at which the CAS issues
+     * @param act_at    out: cycle of the ACT, or ~0 if none issued
+     * @return outcome class (hit / closed / conflict)
+     */
+    RowOutcome schedule(const DramConfig &config, std::uint64_t row,
+                        bool is_write, Cycle earliest, Cycle act_ready,
+                        Cycle &cas_ready, Cycle &act_at);
+
+    /**
+     * Commit the access once the data phase is placed on the bus.
+     *
+     * Reads pipeline: the next CAS to this bank may issue tCCD after
+     * this one, so back-to-back row hits stream at burst rate.
+     * Writes add the tWR recovery after the data burst.
+     *
+     * @param config     timing parameters
+     * @param cas_at     cycle the CAS command actually issued
+     * @param data_start first cycle of the data burst
+     * @param is_write   direction
+     */
+    void complete(const DramConfig &config, Cycle cas_at,
+                  Cycle data_start, bool is_write);
+
+    bool rowOpen() const { return rowOpen_; }
+    std::uint64_t openRow() const { return openRow_; }
+
+  private:
+    bool rowOpen_ = false;
+    std::uint64_t openRow_ = 0;
+    Cycle readyAt_ = 0;     ///< earliest next command sequence
+    Cycle activatedAt_ = 0; ///< last ACT (for tRAS)
+};
+
+} // namespace morph
+
+#endif // MORPH_DRAM_BANK_HH

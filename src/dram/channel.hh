@@ -1,0 +1,92 @@
+/**
+ * @file
+ * DRAM channel: banks, the shared data bus, and rank ACT windows.
+ *
+ * Requests are scheduled in arrival order (FCFS) against bank and bus
+ * resources: bank preparation (PRE/ACT/CAS) proceeds in parallel
+ * across banks, while data bursts serialize on the channel's data
+ * bus. Rank-level tRRD and tFAW constraints gate activates. This
+ * captures the two effects the paper's evaluation hinges on — row
+ * locality and bandwidth saturation under metadata traffic bloat —
+ * while staying simple enough to schedule each access in O(1).
+ */
+
+#ifndef MORPH_DRAM_CHANNEL_HH
+#define MORPH_DRAM_CHANNEL_HH
+
+#include <array>
+#include <vector>
+
+#include "dram/bank.hh"
+
+namespace morph
+{
+
+/** Per-channel activity counters (power model inputs). */
+struct ChannelActivity
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t activates = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowClosed = 0;
+    std::uint64_t rowConflicts = 0;
+    std::uint64_t writeDrains = 0; ///< write-queue drain episodes
+    Cycle busBusyCycles = 0; ///< CPU cycles of data-bus occupancy
+};
+
+/** One memory channel with its ranks and banks. */
+class Channel
+{
+  public:
+    explicit Channel(const DramConfig &config);
+
+    /**
+     * Schedule one line access submitted at CPU cycle @p when.
+     *
+     * @return the CPU cycle at which the data burst completes
+     */
+    Cycle access(const DramCoord &coord, AccessType type, Cycle when);
+
+    const ChannelActivity &activity() const { return activity_; }
+    void resetActivity() { activity_ = ChannelActivity{}; }
+
+    /** Earliest cycle the data bus is free (introspection/tests). */
+    Cycle busFreeAt() const { return busFreeAt_; }
+
+  private:
+    /** Rank ACT-window bookkeeping for tRRD / tFAW. */
+    struct RankWindow
+    {
+        std::array<Cycle, 4> lastActs{}; ///< rolling, oldest replaced
+        unsigned next = 0;
+        std::uint64_t actCount = 0;
+        Cycle lastAct = 0;
+
+        Cycle readyFor(const DramConfig &config) const;
+        void record(Cycle act_at);
+    };
+
+    /** Schedule one access against bank/bus resources (no queuing). */
+    Cycle scheduleAccess(const DramCoord &coord, AccessType type,
+                         Cycle when);
+
+    /** Earliest start for @p rank at @p when, refresh applied. */
+    Cycle afterRefresh(unsigned rank, Cycle when);
+
+    /** Drain buffered writes down to the low watermark. */
+    void drainWrites(Cycle when);
+
+    const DramConfig &config_;
+    std::vector<Bank> banks_;       ///< ranksPerChannel * banksPerRank
+    std::vector<RankWindow> ranks_;
+    std::vector<DramCoord> writeQueue_;
+    std::vector<std::uint64_t> refreshesDone_; ///< per rank
+    Cycle busFreeAt_ = 0;
+    ChannelActivity activity_;
+};
+
+} // namespace morph
+
+#endif // MORPH_DRAM_CHANNEL_HH

@@ -1,0 +1,22 @@
+#include "dram/dram_config.hh"
+
+namespace morph
+{
+
+DramCoord
+decodeLine(const DramConfig &config, LineAddr line)
+{
+    DramCoord coord;
+    coord.channel = unsigned(line % config.channels);
+    line /= config.channels;
+    coord.column = unsigned(line % config.linesPerRow);
+    line /= config.linesPerRow;
+    coord.bank = unsigned(line % config.banksPerRank);
+    line /= config.banksPerRank;
+    coord.rank = unsigned(line % config.ranksPerChannel);
+    line /= config.ranksPerChannel;
+    coord.row = line;
+    return coord;
+}
+
+} // namespace morph

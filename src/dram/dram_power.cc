@@ -1,0 +1,21 @@
+#include "dram/dram_power.hh"
+
+namespace morph
+{
+
+DramEnergy
+dramEnergy(const DramPowerParams &params, const ChannelActivity &activity,
+           double elapsed_seconds, unsigned total_ranks)
+{
+    DramEnergy energy;
+    energy.activateJ = double(activity.activates) *
+                       params.activateEnergyJ;
+    energy.readJ = double(activity.reads) * params.readEnergyJ;
+    energy.writeJ = double(activity.writes) * params.writeEnergyJ;
+    energy.refreshJ = double(activity.refreshes) * params.refreshEnergyJ;
+    energy.backgroundJ = params.backgroundWattsPerRank *
+                         double(total_ranks) * elapsed_seconds;
+    return energy;
+}
+
+} // namespace morph

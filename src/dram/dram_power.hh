@@ -1,0 +1,56 @@
+/**
+ * @file
+ * DRAM energy model (Micron-style event energies + background power).
+ *
+ * USIMM computes memory power from the DDR3 current specs of a 4 Gb
+ * x8 device; we fold those into representative per-event energies for
+ * a x64 rank and a static background term. Absolute joules are
+ * approximate; the relative energy/EDP comparisons of paper Fig 18
+ * depend only on event counts and execution time, which are exact
+ * model outputs.
+ */
+
+#ifndef MORPH_DRAM_DRAM_POWER_HH
+#define MORPH_DRAM_DRAM_POWER_HH
+
+#include "dram/channel.hh"
+
+namespace morph
+{
+
+/** Per-event energies and background power for one channel's ranks. */
+struct DramPowerParams
+{
+    double activateEnergyJ = 15e-9; ///< ACT+PRE pair, full rank
+    double readEnergyJ = 10e-9;     ///< 64 B read burst incl. I/O
+    double writeEnergyJ = 10e-9;    ///< 64 B write burst incl. I/O
+    double refreshEnergyJ = 120e-9; ///< one all-bank refresh, per rank
+    double backgroundWattsPerRank = 0.25;
+};
+
+/** Energy breakdown over an execution interval. */
+struct DramEnergy
+{
+    double activateJ = 0;
+    double readJ = 0;
+    double writeJ = 0;
+    double refreshJ = 0;
+    double backgroundJ = 0;
+
+    double totalJ() const
+    {
+        return activateJ + readJ + writeJ + refreshJ + backgroundJ;
+    }
+};
+
+/**
+ * Compute DRAM energy for @p activity accumulated over
+ * @p elapsed_seconds with @p total_ranks ranks powered.
+ */
+DramEnergy dramEnergy(const DramPowerParams &params,
+                      const ChannelActivity &activity,
+                      double elapsed_seconds, unsigned total_ranks);
+
+} // namespace morph
+
+#endif // MORPH_DRAM_DRAM_POWER_HH

@@ -1,0 +1,55 @@
+#include "dram/dram_system.hh"
+
+#include <cassert>
+
+namespace morph
+{
+
+DramSystem::DramSystem(const DramConfig &config) : config_(config)
+{
+    channels_.reserve(config_.channels);
+    for (unsigned c = 0; c < config_.channels; ++c)
+        channels_.emplace_back(config_);
+}
+
+Cycle
+DramSystem::access(LineAddr line, AccessType type, Cycle when)
+{
+    const DramCoord coord = decodeLine(config_, line);
+    return channels_[coord.channel].access(coord, type, when);
+}
+
+ChannelActivity
+DramSystem::totalActivity() const
+{
+    ChannelActivity total;
+    for (const auto &channel : channels_) {
+        const auto &a = channel.activity();
+        total.reads += a.reads;
+        total.writes += a.writes;
+        total.activates += a.activates;
+        total.refreshes += a.refreshes;
+        total.rowHits += a.rowHits;
+        total.rowClosed += a.rowClosed;
+        total.rowConflicts += a.rowConflicts;
+        total.writeDrains += a.writeDrains;
+        total.busBusyCycles += a.busBusyCycles;
+    }
+    return total;
+}
+
+const ChannelActivity &
+DramSystem::activity(unsigned channel) const
+{
+    assert(channel < channels_.size());
+    return channels_[channel].activity();
+}
+
+void
+DramSystem::resetActivity()
+{
+    for (auto &channel : channels_)
+        channel.resetActivity();
+}
+
+} // namespace morph

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Top-level DRAM system: channel demux plus aggregate accounting.
+ */
+
+#ifndef MORPH_DRAM_DRAM_SYSTEM_HH
+#define MORPH_DRAM_DRAM_SYSTEM_HH
+
+#include <vector>
+
+#include "dram/channel.hh"
+
+namespace morph
+{
+
+/** The main-memory system (all channels). */
+class DramSystem
+{
+  public:
+    explicit DramSystem(const DramConfig &config = DramConfig{});
+
+    /**
+     * Schedule one 64-byte access submitted at CPU cycle @p when.
+     *
+     * @return completion CPU cycle (data burst fully transferred)
+     */
+    Cycle access(LineAddr line, AccessType type, Cycle when);
+
+    /** Aggregate activity over all channels. */
+    ChannelActivity totalActivity() const;
+
+    /** Per-channel activity. */
+    const ChannelActivity &activity(unsigned channel) const;
+
+    /** Zero all activity counters (warm-up boundary). */
+    void resetActivity();
+
+    const DramConfig &config() const { return config_; }
+
+  private:
+    DramConfig config_;
+    std::vector<Channel> channels_;
+};
+
+} // namespace morph
+
+#endif // MORPH_DRAM_DRAM_SYSTEM_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Functional Bonsai-style counter integrity tree (paper §II-A4).
+ *
+ * A counter tree protects the encryption counters against replay:
+ * every 64 B counter entry carries a MAC computed over its contents
+ * and a counter from its *parent* entry; the parent counter increments
+ * whenever the child entry changes, so restoring a stale
+ * {entry, MAC} pair fails verification against the advanced parent
+ * counter. The root entry lives on-chip and is trusted.
+ *
+ * This class is the *functional* tree: it stores real counter images
+ * in sparse per-level stores, computes real MACs, performs real
+ * verification, and supports tamper/replay injection for tests and
+ * demos. Write-back caching effects (when increments propagate) are
+ * the timing model's concern (src/secmem/secure_memory_model.hh);
+ * here every mutation propagates to the root immediately, which is
+ * functionally equivalent and maximally conservative.
+ */
+
+#ifndef MORPH_INTEGRITY_INTEGRITY_TREE_HH
+#define MORPH_INTEGRITY_INTEGRITY_TREE_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/mac.hh"
+#include "integrity/tree_geometry.hh"
+
+namespace morph
+{
+
+/** Functional counter tree with real MAC chaining. */
+class IntegrityTree
+{
+  public:
+    /** Outcome of a counter bump for one data-line write. */
+    struct BumpResult
+    {
+        /** New effective encryption counter for the written line. */
+        std::uint64_t newCounter = 0;
+
+        /** The encryption-counter entry overflowed. */
+        bool overflowed = false;
+
+        /** Data lines whose encryption counter changed and therefore
+         *  need re-encryption (includes the written line on overflow). */
+        std::vector<LineAddr> reencrypt;
+
+        /** Overflow-reset events that occurred at tree levels >= 1. */
+        unsigned treeOverflows = 0;
+
+        /** MCR rebases that absorbed would-be overflows. */
+        unsigned rebases = 0;
+    };
+
+    IntegrityTree(std::uint64_t mem_bytes, const TreeConfig &config,
+                  const SipKey &mac_key);
+    ~IntegrityTree();
+
+    /** Current effective encryption counter of @p data_line. */
+    std::uint64_t counterOf(LineAddr data_line);
+
+    /**
+     * Increment the encryption counter of @p data_line (one data
+     * write), propagating entry updates and MAC recomputation to the
+     * root.
+     */
+    BumpResult bumpCounter(LineAddr data_line);
+
+    /**
+     * Verify the MAC chain protecting @p data_line's encryption
+     * counter, from its level-0 entry to the root.
+     *
+     * @retval true if every MAC on the path matches
+     */
+    bool verify(LineAddr data_line);
+
+    /** Verify every materialized entry in the tree. */
+    bool verifyAll();
+
+    /** Raw image of a metadata entry (materializes it if absent). */
+    const CachelineData &rawEntry(unsigned level, std::uint64_t index);
+
+    /**
+     * Overwrite a stored entry image, bypassing all protection — the
+     * adversary interface used by tamper/replay tests and demos.
+     */
+    void injectEntry(unsigned level, std::uint64_t index,
+                     const CachelineData &image);
+
+    const TreeGeometry &geometry() const { return geom_; }
+
+    /** Overflow-reset events observed at @p level since construction. */
+    std::uint64_t overflowEvents(unsigned level) const;
+
+    /** Number of materialized entries at @p level. */
+    std::uint64_t materializedEntries(unsigned level) const;
+
+  private:
+    CachelineData &getEntry(unsigned level, std::uint64_t index);
+    std::uint64_t parentCounter(unsigned level, std::uint64_t index);
+    std::uint64_t entryMac(unsigned level, std::uint64_t index,
+                           const CachelineData &image);
+    void recomputeMac(unsigned level, std::uint64_t index);
+    void propagateMutation(unsigned level, std::uint64_t index,
+                           BumpResult &out);
+
+    TreeGeometry geom_;
+    MacEngine macEngine_;
+    std::vector<std::unique_ptr<CounterFormat>> formats_; // per level
+    std::vector<std::unordered_map<std::uint64_t, CachelineData>> store_;
+    std::vector<std::uint64_t> overflows_; // per level
+};
+
+} // namespace morph
+
+#endif // MORPH_INTEGRITY_INTEGRITY_TREE_HH

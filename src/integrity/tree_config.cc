@@ -1,0 +1,76 @@
+#include "integrity/tree_config.hh"
+
+#include <cassert>
+
+namespace morph
+{
+
+CounterKind
+TreeConfig::kindAt(unsigned level) const
+{
+    if (level == 0)
+        return encryption;
+    assert(!treeLevels.empty());
+    const std::size_t i = std::min<std::size_t>(level - 1,
+                                                treeLevels.size() - 1);
+    return treeLevels[i];
+}
+
+unsigned
+TreeConfig::arityAt(unsigned level) const
+{
+    return counterArity(kindAt(level));
+}
+
+TreeConfig
+TreeConfig::sgx()
+{
+    return {"SGX", CounterKind::SC8, {CounterKind::SC8}};
+}
+
+TreeConfig
+TreeConfig::vault()
+{
+    return {"VAULT", CounterKind::SC64,
+            {CounterKind::SC32, CounterKind::SC16}};
+}
+
+TreeConfig
+TreeConfig::sc64()
+{
+    return {"SC-64", CounterKind::SC64, {CounterKind::SC64}};
+}
+
+TreeConfig
+TreeConfig::sc128()
+{
+    return {"SC-128", CounterKind::SC128, {CounterKind::SC128}};
+}
+
+TreeConfig
+TreeConfig::morph()
+{
+    return {"MorphCtr-128", CounterKind::Morph, {CounterKind::Morph}};
+}
+
+TreeConfig
+TreeConfig::morphZccOnly()
+{
+    return {"MorphCtr-128-ZCC", CounterKind::MorphZccOnly,
+            {CounterKind::MorphZccOnly}};
+}
+
+TreeConfig
+TreeConfig::sc64Rebased()
+{
+    return {"SC-64+R", CounterKind::SC64Rebased,
+            {CounterKind::SC64Rebased}};
+}
+
+TreeConfig
+TreeConfig::bonsaiMacTree()
+{
+    return {"BMT-8", CounterKind::SC64, {CounterKind::SC8}};
+}
+
+} // namespace morph

@@ -1,0 +1,21 @@
+#include "secmem/metadata_cache.hh"
+
+namespace morph
+{
+
+std::vector<std::uint64_t>
+MetadataCache::levelOccupancy() const
+{
+    std::vector<std::uint64_t> occupancy(geom_->levels().size() + 1, 0);
+    cache_.forEach([&](LineAddr line, bool) {
+        unsigned level;
+        std::uint64_t index;
+        if (geom_->entryOfLine(line, level, index))
+            ++occupancy[level];
+        else
+            ++occupancy.back();
+    });
+    return occupancy;
+}
+
+} // namespace morph

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The shared on-chip metadata cache (paper Table I: 128 KB, 8-way).
+ *
+ * Holds encryption-counter entries, integrity-tree entries and (in
+ * separate-MAC mode) MAC lines. A thin wrapper over the generic Cache
+ * that adds per-tree-level occupancy accounting — the mechanism behind
+ * the paper's central observation that compact trees keep their upper
+ * levels fully resident, terminating traversals early.
+ */
+
+#ifndef MORPH_SECMEM_METADATA_CACHE_HH
+#define MORPH_SECMEM_METADATA_CACHE_HH
+
+#include <vector>
+
+#include "cache/cache.hh"
+#include "integrity/tree_geometry.hh"
+
+namespace morph
+{
+
+/** Metadata cache with per-level occupancy introspection. */
+class MetadataCache
+{
+  public:
+    /**
+     * @param size_bytes capacity (64 KB / 128 KB / 256 KB in Fig 19)
+     * @param ways       associativity
+     * @param geom       geometry used to attribute lines to levels
+     */
+    MetadataCache(std::size_t size_bytes, unsigned ways,
+                  const TreeGeometry &geom)
+        : cache_(size_bytes, ways), geom_(&geom)
+    {}
+
+    /** @copydoc Cache::access */
+    bool
+    access(LineAddr line, bool write = false)
+    {
+        return cache_.access(line, write);
+    }
+
+    /** @copydoc Cache::insert */
+    std::optional<Eviction>
+    insert(LineAddr line, bool dirty,
+           InsertPosition position = InsertPosition::Mru)
+    {
+        return cache_.insert(line, dirty, position);
+    }
+
+    /** @copydoc Cache::markDirty */
+    bool markDirty(LineAddr line) { return cache_.markDirty(line); }
+
+    /** @copydoc Cache::contains */
+    bool contains(LineAddr line) const { return cache_.contains(line); }
+
+    /** @copydoc Cache::flush */
+    void flush() { cache_.flush(); }
+
+    const CacheStats &stats() const { return cache_.stats(); }
+    void resetStats() { cache_.resetStats(); }
+    std::size_t sizeBytes() const { return cache_.sizeBytes(); }
+
+    /**
+     * Number of resident lines per tree level (index = level; one
+     * extra trailing slot counts non-metadata lines such as MAC
+     * lines). Linear in cache size — intended for reporting, not the
+     * simulation fast path.
+     */
+    std::vector<std::uint64_t> levelOccupancy() const;
+
+  private:
+    Cache cache_;
+    const TreeGeometry *geom_;
+};
+
+} // namespace morph
+
+#endif // MORPH_SECMEM_METADATA_CACHE_HH

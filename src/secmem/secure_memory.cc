@@ -1,0 +1,291 @@
+#include "secmem/secure_memory.hh"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace morph
+{
+
+SecureMemory::SecureMemory(const SecureMemoryConfig &config)
+    : config_(config), otp_(config.encryptionKey),
+      macEngine_(config.macKey),
+      tree_(config.memBytes, config.tree, config.macKey)
+{
+    if (config.macBits == 0 || config.macBits > 64)
+        fatal("secure memory: MAC width must be 1..64 bits");
+    if (config_.freshness == FreshnessScheme::MerkleMacTree) {
+        merkle_.emplace(geometry().levels()[0].entries, config.macKey);
+        merkleFormat_ = makeCounterFormat(config.tree.encryption);
+    }
+}
+
+MacTree &
+SecureMemory::macTree()
+{
+    if (!merkle_)
+        fatal("secure memory: MacTree requested under the counter-tree "
+              "scheme");
+    return *merkle_;
+}
+
+CachelineData &
+SecureMemory::merkleEntry(std::uint64_t entry_index)
+{
+    auto it = merkleEntries_.find(entry_index);
+    if (it != merkleEntries_.end())
+        return it->second;
+    CachelineData image;
+    merkleFormat_->init(image);
+    merkle_->updateLeaf(entry_index, image); // publish the birth state
+    return merkleEntries_.emplace(entry_index, image).first->second;
+}
+
+std::uint64_t
+SecureMemory::counterOf(LineAddr line)
+{
+    if (!merkle_)
+        return tree_.counterOf(line);
+    const std::uint64_t entry = geometry().parentIndex(0, line);
+    const unsigned slot = geometry().childSlot(0, line);
+    return merkleFormat_->read(merkleEntry(entry), slot);
+}
+
+bool
+SecureMemory::verifyFreshness(LineAddr line)
+{
+    if (!merkle_)
+        return tree_.verify(line);
+    const std::uint64_t entry = geometry().parentIndex(0, line);
+    return merkle_->verifyLeaf(entry, merkleEntry(entry));
+}
+
+IntegrityTree::BumpResult
+SecureMemory::bumpCounter(LineAddr line)
+{
+    if (!merkle_)
+        return tree_.bumpCounter(line);
+
+    const std::uint64_t entry = geometry().parentIndex(0, line);
+    const unsigned slot = geometry().childSlot(0, line);
+    CachelineData &image = merkleEntry(entry);
+
+    IntegrityTree::BumpResult out;
+    const WriteResult res = merkleFormat_->increment(image, slot);
+    if (res.rebase)
+        ++out.rebases;
+    if (res.overflow) {
+        out.overflowed = true;
+        const std::uint64_t base =
+            entry * geometry().levels()[0].arity;
+        for (unsigned c = res.reencBegin; c < res.reencEnd; ++c) {
+            const LineAddr child = base + c;
+            if (child < geometry().dataLines())
+                out.reencrypt.push_back(child);
+        }
+    }
+    merkle_->updateLeaf(entry, image);
+    out.newCounter = merkleFormat_->read(image, slot);
+    return out;
+}
+
+CachelineData
+SecureMemory::counterEntryOf(std::uint64_t entry_index)
+{
+    if (!merkle_)
+        return tree_.rawEntry(0, entry_index);
+    return merkleEntry(entry_index);
+}
+
+void
+SecureMemory::tamperCounterEntry(std::uint64_t entry_index,
+                                 const CachelineData &image)
+{
+    if (!merkle_) {
+        tree_.injectEntry(0, entry_index, image);
+        return;
+    }
+    // A physical overwrite of the stored entry: the Merkle tree is
+    // NOT updated (the attacker cannot recompute on-chip hashes).
+    merkleEntries_[entry_index] = image;
+}
+
+std::uint64_t
+SecureMemory::dataMac(LineAddr line, std::uint64_t counter,
+                      const CachelineData &ciphertext) const
+{
+    return macEngine_.compute(line, counter, ciphertext,
+                              config_.macBits);
+}
+
+SecureMemory::StoredLine &
+SecureMemory::materialize(LineAddr line)
+{
+    auto it = store_.find(line);
+    if (it != store_.end())
+        return it->second;
+
+    // First touch: the line logically holds zeros, encrypted under
+    // its current counter (0 for virgin lines; possibly higher if an
+    // overflow reset swept this child before its first use).
+    const std::uint64_t counter = counterOf(line);
+    CachelineData ciphertext{};
+    otp_.xorPad(ciphertext, line, counter);
+    StoredLine stored{ciphertext, dataMac(line, counter, ciphertext)};
+    return store_.emplace(line, stored).first->second;
+}
+
+void
+SecureMemory::writeLine(LineAddr line, const CachelineData &plaintext)
+{
+    assert(line < geometry().dataLines());
+    ++stats_.writes;
+
+    // Snapshot the pre-bump counters of every sibling under the same
+    // level-0 entry: if the bump overflows, the controller re-encrypts
+    // each sibling from its old counter to its new one.
+    const auto &geom = geometry();
+    const unsigned arity = geom.levels()[0].arity;
+    const std::uint64_t entry = geom.parentIndex(0, line);
+    const LineAddr first_child = entry * arity;
+    std::vector<std::uint64_t> old_counters(arity);
+    for (unsigned c = 0; c < arity; ++c) {
+        const LineAddr child = first_child + c;
+        if (child < geom.dataLines())
+            old_counters[c] = counterOf(child);
+    }
+
+    const IntegrityTree::BumpResult bump = bumpCounter(line);
+    stats_.treeOverflows += bump.treeOverflows;
+    stats_.rebases += bump.rebases;
+    if (bump.overflowed) {
+        ++stats_.counterOverflows;
+        for (const LineAddr child : bump.reencrypt) {
+            if (child == line)
+                continue; // rewritten below with fresh plaintext
+            auto it = store_.find(child);
+            if (it == store_.end())
+                continue; // never materialized; nothing to re-encrypt
+            // Decrypt under the old counter, re-encrypt under the new.
+            CachelineData data = it->second.ciphertext;
+            otp_.xorPad(data, child, old_counters[child - first_child]);
+            const std::uint64_t fresh = counterOf(child);
+            otp_.xorPad(data, child, fresh);
+            it->second.ciphertext = data;
+            it->second.mac = dataMac(child, fresh, data);
+            ++stats_.reencryptedLines;
+        }
+    }
+
+    CachelineData ciphertext = plaintext;
+    otp_.xorPad(ciphertext, line, bump.newCounter);
+    StoredLine stored{ciphertext,
+                      dataMac(line, bump.newCounter, ciphertext)};
+    store_[line] = stored;
+}
+
+std::optional<CachelineData>
+SecureMemory::readLine(LineAddr line, Verdict &verdict)
+{
+    assert(line < geometry().dataLines());
+    ++stats_.reads;
+
+    // Freshness: the counter protecting this line must verify against
+    // the tree all the way to the on-chip root.
+    if (!verifyFreshness(line)) {
+        verdict = Verdict::TreeMacMismatch;
+        ++stats_.integrityFailures;
+        return std::nullopt;
+    }
+
+    const StoredLine &stored = materialize(line);
+    const std::uint64_t counter = counterOf(line);
+    if (!MacEngine::equal(stored.mac,
+                          dataMac(line, counter, stored.ciphertext),
+                          config_.macBits)) {
+        verdict = Verdict::DataMacMismatch;
+        ++stats_.integrityFailures;
+        return std::nullopt;
+    }
+
+    CachelineData plaintext = stored.ciphertext;
+    otp_.xorPad(plaintext, line, counter);
+    verdict = Verdict::Ok;
+    return plaintext;
+}
+
+std::optional<CachelineData>
+SecureMemory::readLine(LineAddr line)
+{
+    Verdict verdict;
+    return readLine(line, verdict);
+}
+
+void
+SecureMemory::writeBytes(Addr addr, const void *src, std::size_t len)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(src);
+    while (len > 0) {
+        const LineAddr line = lineOf(addr);
+        const std::size_t offset = addr % lineBytes;
+        const std::size_t chunk = std::min(len, lineBytes - offset);
+
+        CachelineData plaintext{};
+        if (auto existing = readLine(line))
+            plaintext = *existing;
+        std::memcpy(plaintext.data() + offset, bytes, chunk);
+        writeLine(line, plaintext);
+
+        addr += chunk;
+        bytes += chunk;
+        len -= chunk;
+    }
+}
+
+bool
+SecureMemory::readBytes(Addr addr, void *dst, std::size_t len)
+{
+    auto *bytes = static_cast<std::uint8_t *>(dst);
+    while (len > 0) {
+        const LineAddr line = lineOf(addr);
+        const std::size_t offset = addr % lineBytes;
+        const std::size_t chunk = std::min(len, lineBytes - offset);
+
+        const auto plaintext = readLine(line);
+        if (!plaintext)
+            return false;
+        std::memcpy(bytes, plaintext->data() + offset, chunk);
+
+        addr += chunk;
+        bytes += chunk;
+        len -= chunk;
+    }
+    return true;
+}
+
+CachelineData
+SecureMemory::ciphertextOf(LineAddr line)
+{
+    return materialize(line).ciphertext;
+}
+
+std::uint64_t
+SecureMemory::macOf(LineAddr line)
+{
+    return materialize(line).mac;
+}
+
+void
+SecureMemory::tamperCiphertext(LineAddr line, const CachelineData &value)
+{
+    materialize(line).ciphertext = value;
+}
+
+void
+SecureMemory::tamperMac(LineAddr line, std::uint64_t value)
+{
+    materialize(line).mac = value;
+}
+
+} // namespace morph

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Functional secure memory: encryption + MACs + integrity tree.
+ *
+ * The full SGX-style protection stack over a sparse backing store:
+ *
+ *  - confidentiality: counter-mode AES encryption of every data line
+ *    (src/crypto/otp.hh) under per-line effective counters supplied by
+ *    the configured counter organization;
+ *  - integrity: a truncated per-line MAC binding {address, counter,
+ *    ciphertext} (54-bit, the Synergy in-line layout);
+ *  - freshness: the counter integrity tree (src/integrity) protecting
+ *    the encryption counters against replay.
+ *
+ * This is the component examples and correctness tests use: real
+ * ciphertext, real tags, real tamper/replay detection, and real
+ * re-encryption when counters overflow. The cycle-level cost model
+ * lives separately in SecureMemoryModel.
+ */
+
+#ifndef MORPH_SECMEM_SECURE_MEMORY_HH
+#define MORPH_SECMEM_SECURE_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "crypto/otp.hh"
+#include "integrity/integrity_tree.hh"
+#include "integrity/mac_tree.hh"
+
+namespace morph
+{
+
+/** How counter freshness is anchored to the chip. */
+enum class FreshnessScheme
+{
+    CounterTree,   ///< Bonsai counter tree (SGX/VAULT/MorphTree style)
+    MerkleMacTree, ///< 8-ary tree of MACs over the counter entries
+};
+
+/** Configuration of a functional secure memory. */
+struct SecureMemoryConfig
+{
+    std::uint64_t memBytes = 1ull << 30;
+    TreeConfig tree = TreeConfig::morph();
+    Aes128::Key encryptionKey{};
+    SipKey macKey{};
+    unsigned macBits = 54; ///< Synergy in-line MAC width
+
+    /** Replay-protection structure. With MerkleMacTree, tree.treeLevels
+     *  is ignored: the encryption-counter organization still comes
+     *  from tree.encryption, but freshness is a MacTree (8 x 64-bit
+     *  hashes per node — the paper's §VIII-B1 alternative). */
+    FreshnessScheme freshness = FreshnessScheme::CounterTree;
+};
+
+/** Functional secure memory device. */
+class SecureMemory
+{
+  public:
+    /** Why a read failed verification. */
+    enum class Verdict
+    {
+        Ok,
+        DataMacMismatch, ///< data line tampered or replayed
+        TreeMacMismatch, ///< counter entry tampered or replayed
+    };
+
+    /** Aggregate functional statistics. */
+    struct Stats
+    {
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+        std::uint64_t reencryptedLines = 0;
+        std::uint64_t counterOverflows = 0;
+        std::uint64_t treeOverflows = 0;
+        std::uint64_t rebases = 0;
+        std::uint64_t integrityFailures = 0;
+    };
+
+    explicit SecureMemory(const SecureMemoryConfig &config);
+
+    /** Encrypt and store one line; updates counters, MACs, the tree. */
+    void writeLine(LineAddr line, const CachelineData &plaintext);
+
+    /**
+     * Verify and decrypt one line.
+     *
+     * @return the plaintext, or std::nullopt on integrity failure
+     */
+    std::optional<CachelineData> readLine(LineAddr line);
+
+    /** As readLine, but reports why verification failed. */
+    std::optional<CachelineData> readLine(LineAddr line,
+                                          Verdict &verdict);
+
+    /** Byte-granular convenience write (line-splitting, RMW). */
+    void writeBytes(Addr addr, const void *src, std::size_t len);
+
+    /** Byte-granular convenience read; false on integrity failure. */
+    bool readBytes(Addr addr, void *dst, std::size_t len);
+
+    // ---- Adversary interface (physical attacker on the DIMM) ----
+
+    /** Raw stored ciphertext of a line (materializing it if needed). */
+    CachelineData ciphertextOf(LineAddr line);
+
+    /** Stored truncated MAC of a line. */
+    std::uint64_t macOf(LineAddr line);
+
+    /** Overwrite stored ciphertext, bypassing protection. */
+    void tamperCiphertext(LineAddr line, const CachelineData &value);
+
+    /** Overwrite a stored MAC, bypassing protection. */
+    void tamperMac(LineAddr line, std::uint64_t value);
+
+    /** Access to the integrity tree (tamper/replay of counters).
+     *  Only meaningful under FreshnessScheme::CounterTree. */
+    IntegrityTree &tree() { return tree_; }
+
+    /** Access to the Merkle tree (MerkleMacTree scheme only). */
+    MacTree &macTree();
+
+    /** Current encryption counter of a line (either scheme). */
+    std::uint64_t counterOf(LineAddr line);
+
+    /** Overwrite a stored counter entry, bypassing protection
+     *  (physical attack on the counter region; either scheme). */
+    void tamperCounterEntry(std::uint64_t entry_index,
+                            const CachelineData &image);
+
+    /** Raw stored counter entry (either scheme). */
+    CachelineData counterEntryOf(std::uint64_t entry_index);
+
+    const TreeGeometry &geometry() const { return tree_.geometry(); }
+    const Stats &stats() const { return stats_; }
+    const SecureMemoryConfig &config() const { return config_; }
+
+  private:
+    struct StoredLine
+    {
+        CachelineData ciphertext;
+        std::uint64_t mac;
+    };
+
+    StoredLine &materialize(LineAddr line);
+    std::uint64_t dataMac(LineAddr line, std::uint64_t counter,
+                          const CachelineData &ciphertext) const;
+
+    /** MacTree scheme: the counter entry image (published on birth). */
+    CachelineData &merkleEntry(std::uint64_t entry_index);
+
+    /** Bump the counter of @p line, under either freshness scheme;
+     *  fills the re-encryption work exactly as the tree would. */
+    IntegrityTree::BumpResult bumpCounter(LineAddr line);
+
+    /** Freshness check for the counter protecting @p line. */
+    bool verifyFreshness(LineAddr line);
+
+    SecureMemoryConfig config_;
+    OtpEngine otp_;
+    MacEngine macEngine_;
+    IntegrityTree tree_;
+    std::optional<MacTree> merkle_;
+    std::unordered_map<std::uint64_t, CachelineData> merkleEntries_;
+    std::unique_ptr<CounterFormat> merkleFormat_;
+    std::unordered_map<LineAddr, StoredLine> store_;
+    Stats stats_;
+};
+
+} // namespace morph
+
+#endif // MORPH_SECMEM_SECURE_MEMORY_HH

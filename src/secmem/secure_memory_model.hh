@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Cycle-model secure memory controller (traffic and cache behaviour).
+ *
+ * Translates each post-LLC data access into the set of DRAM accesses
+ * secure execution generates, following the paper's model:
+ *
+ *  read:  fetch the encryption-counter entry through the metadata
+ *         cache; on a miss, walk the integrity tree upward, fetching
+ *         entries from memory until one is found cached (or the
+ *         on-chip root is reached). These fetches are on the load's
+ *         critical path.
+ *
+ *  write: fetch the counter entry likewise, increment the written
+ *         line's counter in place and mark the entry dirty in the
+ *         metadata cache. Writes propagate up the tree only when a
+ *         dirty entry is evicted: the write-back increments the parent
+ *         counter (fetching the parent if needed), which is why levels
+ *         that fit in the cache never see overflow pressure.
+ *
+ *  overflow: an overflow reset at level L generates one read + one
+ *         write per affected child (re-encryption of data lines for
+ *         L = 0, re-hash of child entries for L >= 1), categorized as
+ *         Overflow traffic.
+ *
+ * Counter entries are maintained bit-exactly (real ZCC/MCR/SC images)
+ * so overflow rates, format morphs and rebases are faithful; data
+ * payloads and MAC values are not modelled here (SecureMemory does
+ * that functionally).
+ */
+
+#ifndef MORPH_SECMEM_SECURE_MEMORY_MODEL_HH
+#define MORPH_SECMEM_SECURE_MEMORY_MODEL_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "secmem/metadata_cache.hh"
+#include "secmem/traffic_stats.hh"
+
+namespace morph
+{
+
+/** One DRAM access produced by the controller. */
+struct MemAccess
+{
+    LineAddr line;     ///< physical line address (data or metadata)
+    AccessType type;   ///< read or write
+    Traffic category;  ///< attribution for Figs 5/16
+    bool critical;     ///< completion blocks the requesting load
+};
+
+/** Configuration of the cycle-model controller. */
+struct SecureModelConfig
+{
+    std::uint64_t memBytes = 16ull << 30;
+    TreeConfig tree = TreeConfig::sc64();
+    std::size_t metadataCacheBytes = 128 * 1024;
+    unsigned metadataCacheWays = 8;
+    bool inlineMacs = true; ///< Synergy in-line MACs (Fig 20 toggles)
+    bool secure = true;     ///< false models the non-secure baseline
+
+    /**
+     * PoisonIvy/ASE-style speculative verification: data is consumed
+     * while the tree walk completes in the background, so walk reads
+     * above the counter entry leave the load's critical path. The
+     * bandwidth cost remains — exactly the distinction the paper
+     * draws (§VIII-B2).
+     */
+    bool speculativeVerification = false;
+
+    /**
+     * Next-entry counter prefetch: a miss on encryption-counter entry
+     * N also fetches entry N+1 (non-critical, unverified until used).
+     * Helps streaming workloads; pure bandwidth overhead for random
+     * ones.
+     */
+    bool counterPrefetch = false;
+
+    /**
+     * Type-aware metadata-cache insertion (Lee et al., §VIII-B2):
+     * encryption-counter entries — the class with the least reuse per
+     * byte — insert at LRU so tree entries keep residency.
+     */
+    bool demoteEncCounters = false;
+};
+
+/** Trace-level secure memory controller model. */
+class SecureMemoryModel
+{
+  public:
+    explicit SecureMemoryModel(const SecureModelConfig &config);
+    ~SecureMemoryModel();
+
+    /**
+     * Process one data access and append every DRAM access it
+     * generates to @p out (the data access itself included).
+     */
+    void onDataAccess(LineAddr data_line, AccessType type,
+                      std::vector<MemAccess> &out);
+
+    const TrafficStats &stats() const { return stats_; }
+    void resetStats();
+
+    const TreeGeometry &geometry() const { return geom_; }
+    const MetadataCache &metadataCache() const { return mdcache_; }
+    const SecureModelConfig &config() const { return config_; }
+
+    /** Effective counter of @p data_line (model introspection). */
+    std::uint64_t counterOf(LineAddr data_line);
+
+  private:
+    CachelineData &entryImage(unsigned level, std::uint64_t index);
+    void ensureCached(unsigned level, std::uint64_t index,
+                      std::vector<MemAccess> &out, bool critical);
+    void insertMetadata(LineAddr line, bool dirty,
+                        std::vector<MemAccess> &out);
+    void handleDirtyWriteback(unsigned level, std::uint64_t index,
+                              std::vector<MemAccess> &out);
+    void bumpEntryCounter(unsigned level, std::uint64_t child_index,
+                          std::vector<MemAccess> &out);
+    void emitOverflowTraffic(unsigned level, std::uint64_t entry_index,
+                             unsigned begin, unsigned end,
+                             std::vector<MemAccess> &out);
+    LineAddr macLineOf(LineAddr data_line) const;
+
+    SecureModelConfig config_;
+    TreeGeometry geom_;
+    MetadataCache mdcache_;
+    TrafficStats stats_;
+    std::vector<std::unique_ptr<CounterFormat>> formats_;
+    std::vector<std::unordered_map<std::uint64_t, CachelineData>> store_;
+    LineAddr macBaseLine_ = 0;
+};
+
+} // namespace morph
+
+#endif // MORPH_SECMEM_SECURE_MEMORY_MODEL_HH

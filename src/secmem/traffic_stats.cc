@@ -1,0 +1,108 @@
+#include "secmem/traffic_stats.hh"
+
+namespace morph
+{
+
+const char *
+trafficName(Traffic category)
+{
+    switch (category) {
+      case Traffic::Data:
+        return "Data";
+      case Traffic::CtrEncr:
+        return "Ctr_Encr";
+      case Traffic::Ctr1:
+        return "Ctr_1";
+      case Traffic::Ctr2:
+        return "Ctr_2";
+      case Traffic::Ctr3Up:
+        return "Ctr_3&Up";
+      case Traffic::Overflow:
+        return "Overflow";
+      case Traffic::Mac:
+        return "MAC";
+    }
+    return "?";
+}
+
+Traffic
+trafficForLevel(unsigned level)
+{
+    switch (level) {
+      case 0:
+        return Traffic::CtrEncr;
+      case 1:
+        return Traffic::Ctr1;
+      case 2:
+        return Traffic::Ctr2;
+      default:
+        return Traffic::Ctr3Up;
+    }
+}
+
+std::uint64_t
+TrafficStats::total() const
+{
+    std::uint64_t sum = 0;
+    for (unsigned i = 0; i < numTrafficCategories; ++i)
+        sum += reads[i] + writes[i];
+    return sum;
+}
+
+std::uint64_t
+TrafficStats::totalOverflows() const
+{
+    std::uint64_t sum = 0;
+    for (auto v : overflowsByLevel)
+        sum += v;
+    return sum;
+}
+
+std::uint64_t
+TrafficStats::totalRebases() const
+{
+    std::uint64_t sum = 0;
+    for (auto v : rebasesByLevel)
+        sum += v;
+    return sum;
+}
+
+double
+TrafficStats::bloat() const
+{
+    const std::uint64_t data = accesses(Traffic::Data);
+    return data ? double(total()) / double(data) : 0.0;
+}
+
+void
+TrafficStats::reset()
+{
+    reads.fill(0);
+    writes.fill(0);
+    overflowsByLevel.fill(0);
+    rebasesByLevel.fill(0);
+    usageAtOverflow.reset();
+}
+
+void
+TrafficStats::report(StatSet &out) const
+{
+    for (unsigned i = 0; i < numTrafficCategories; ++i) {
+        const auto cat = Traffic(i);
+        out.set(std::string("traffic.") + trafficName(cat) + ".reads",
+                double(reads[i]));
+        out.set(std::string("traffic.") + trafficName(cat) + ".writes",
+                double(writes[i]));
+    }
+    out.set("traffic.total", double(total()));
+    out.set("traffic.bloat", bloat());
+    out.set("overflows.total", double(totalOverflows()));
+    out.set("rebases.total", double(totalRebases()));
+    for (unsigned level = 0; level < overflowsByLevel.size(); ++level) {
+        if (overflowsByLevel[level])
+            out.set("overflows.level" + std::to_string(level),
+                    double(overflowsByLevel[level]));
+    }
+}
+
+} // namespace morph

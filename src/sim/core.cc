@@ -1,0 +1,57 @@
+#include "sim/core.hh"
+
+#include <algorithm>
+
+namespace morph
+{
+
+TraceEntry
+Core::beginEntry()
+{
+    const TraceEntry entry = trace_->next();
+    // The gap instructions retire at full width.
+    clock_ += (entry.gap + config_.retireWidth - 1) / config_.retireWidth;
+    instructions_ += entry.gap + 1;
+    // The ROB admits this access only once it is within robSize
+    // instructions of the oldest incomplete read.
+    if (instructions_ > config_.robSize)
+        retireUpTo(instructions_ - config_.robSize);
+    return entry;
+}
+
+void
+Core::retireUpTo(std::uint64_t window_floor)
+{
+    while (!outstanding_.empty() &&
+           outstanding_.front().first <= window_floor) {
+        clock_ = std::max(clock_, outstanding_.front().second);
+        outstanding_.pop_front();
+    }
+}
+
+void
+Core::completeEntry(const TraceEntry &entry, Cycle done)
+{
+    ++accesses_;
+    if (entry.type == AccessType::Read)
+        outstanding_.emplace_back(instructions_, done);
+    // Writes are posted: the write queue absorbs them.
+}
+
+void
+Core::drain()
+{
+    while (!outstanding_.empty()) {
+        clock_ = std::max(clock_, outstanding_.front().second);
+        outstanding_.pop_front();
+    }
+}
+
+void
+Core::markMeasurementStart()
+{
+    baseClock_ = clock_;
+    baseInstructions_ = instructions_;
+}
+
+} // namespace morph

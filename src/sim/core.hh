@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Trace-driven out-of-order core model (USIMM-style, paper Table I).
+ *
+ * Each core replays its post-LLC trace: non-memory instructions retire
+ * at `retireWidth` per CPU cycle; reads are issued to the secure
+ * memory system and occupy the reorder buffer until their data
+ * returns; the core may run ahead at most `robSize` instructions past
+ * the oldest incomplete read (in-order retirement through a 192-entry
+ * ROB). Write-backs are posted and never block.
+ */
+
+#ifndef MORPH_SIM_CORE_HH
+#define MORPH_SIM_CORE_HH
+
+#include <deque>
+
+#include "common/types.hh"
+#include "workloads/trace.hh"
+
+namespace morph
+{
+
+/** Core microarchitecture parameters. */
+struct CoreConfig
+{
+    unsigned robSize = 192;
+    unsigned retireWidth = 4; ///< instructions per CPU cycle
+};
+
+/** One trace-driven core. */
+class Core
+{
+  public:
+    Core(unsigned id, TraceSource &trace, const CoreConfig &config)
+        : id_(id), trace_(&trace), config_(config)
+    {}
+
+    /** Fetch the next trace entry and account its instruction gap;
+     *  the caller issues the access and reports back. */
+    TraceEntry beginEntry();
+
+    /**
+     * Finish the entry: for reads, record the outstanding miss with
+     * completion cycle @p done; stalls are applied when the ROB window
+     * fills.
+     */
+    void completeEntry(const TraceEntry &entry, Cycle done);
+
+    /** Core-local clock (CPU cycles). */
+    Cycle clock() const { return clock_; }
+
+    /** Instructions issued so far. */
+    std::uint64_t instructions() const { return instructions_; }
+
+    /** Data accesses performed. */
+    std::uint64_t accesses() const { return accesses_; }
+
+    /** Drain all outstanding reads (advances the clock). */
+    void drain();
+
+    /** Snapshot baseline at the end of warm-up. */
+    void markMeasurementStart();
+
+    /** Instructions since the measurement baseline. */
+    std::uint64_t measuredInstructions() const
+    {
+        return instructions_ - baseInstructions_;
+    }
+
+    /** Cycles since the measurement baseline. */
+    Cycle measuredCycles() const { return clock_ - baseClock_; }
+
+    unsigned id() const { return id_; }
+
+  private:
+    void retireUpTo(std::uint64_t window_floor);
+
+    unsigned id_;
+    TraceSource *trace_;
+    CoreConfig config_;
+
+    Cycle clock_ = 0;
+    std::uint64_t instructions_ = 0;
+    std::uint64_t accesses_ = 0;
+    Cycle baseClock_ = 0;
+    std::uint64_t baseInstructions_ = 0;
+
+    /** Outstanding reads: (instruction position, completion cycle). */
+    std::deque<std::pair<std::uint64_t, Cycle>> outstanding_;
+};
+
+} // namespace morph
+
+#endif // MORPH_SIM_CORE_HH

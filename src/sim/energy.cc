@@ -1,0 +1,23 @@
+#include "sim/energy.hh"
+
+namespace morph
+{
+
+EnergyReport
+computeEnergy(const EnergyParams &params, const ChannelActivity &activity,
+              std::uint64_t cycles, double cpu_hz, unsigned total_ranks)
+{
+    EnergyReport report;
+    report.seconds = double(cycles) / cpu_hz;
+    const DramEnergy dram = dramEnergy(params.dram, activity,
+                                       report.seconds, total_ranks);
+    report.dramJ = dram.totalJ();
+    report.systemJ = report.dramJ +
+                     params.staticSystemWatts * report.seconds;
+    report.systemPowerW =
+        report.seconds > 0 ? report.systemJ / report.seconds : 0.0;
+    report.edp = report.systemJ * report.seconds;
+    return report;
+}
+
+} // namespace morph

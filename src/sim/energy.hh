@@ -1,0 +1,53 @@
+/**
+ * @file
+ * System power / energy / EDP reporting (paper Fig 18).
+ *
+ * System energy combines a static core+uncore power with the DRAM
+ * energy model. A design that finishes the same work in less time
+ * shows slightly higher average power but lower energy and a
+ * substantially better energy-delay product — the paper's Fig 18
+ * relationship.
+ */
+
+#ifndef MORPH_SIM_ENERGY_HH
+#define MORPH_SIM_ENERGY_HH
+
+#include "dram/dram_power.hh"
+
+namespace morph
+{
+
+/** Power-model constants beyond the DRAM event energies. */
+struct EnergyParams
+{
+    DramPowerParams dram;
+    double staticSystemWatts = 12.0; ///< 4 cores + caches + uncore
+};
+
+/** Energy report for one measured execution interval. */
+struct EnergyReport
+{
+    double seconds = 0;       ///< measured execution time
+    double dramJ = 0;         ///< DRAM energy
+    double systemJ = 0;       ///< static + DRAM energy
+    double systemPowerW = 0;  ///< average system power
+    double edp = 0;           ///< energy-delay product (J*s)
+};
+
+/**
+ * Build the energy report for an interval.
+ *
+ * @param params     power-model constants
+ * @param activity   DRAM activity during the interval
+ * @param cycles     measured CPU cycles
+ * @param cpu_hz     CPU frequency
+ * @param total_ranks powered DRAM ranks
+ */
+EnergyReport computeEnergy(const EnergyParams &params,
+                           const ChannelActivity &activity,
+                           std::uint64_t cycles, double cpu_hz,
+                           unsigned total_ranks);
+
+} // namespace morph
+
+#endif // MORPH_SIM_ENERGY_HH

@@ -1,0 +1,149 @@
+#include "sim/simulator.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace morph
+{
+
+SimOptions
+SimOptions::fromEnv(SimOptions defaults)
+{
+    if (const char *env = std::getenv("MORPH_SIM_ACCESSES")) {
+        const long long v = std::atoll(env);
+        if (v > 0)
+            defaults.accessesPerCore = std::uint64_t(v);
+    }
+    if (const char *env = std::getenv("MORPH_SIM_WARMUP")) {
+        const long long v = std::atoll(env);
+        if (v >= 0)
+            defaults.warmupPerCore = std::uint64_t(v);
+    }
+    return defaults;
+}
+
+double
+SimResult::overflowsPerMillion() const
+{
+    const std::uint64_t data = traffic.accesses(Traffic::Data);
+    if (data == 0)
+        return 0.0;
+    return double(traffic.totalOverflows()) * 1e6 / double(data);
+}
+
+namespace
+{
+
+SimResult
+runTraces(const std::string &name,
+          std::vector<std::unique_ptr<TraceSource>> traces,
+          const SecureModelConfig &secmem, const SimOptions &options)
+{
+    SystemConfig config;
+    config.secmem = secmem;
+    config.dram = options.dram;
+    config.timing = options.timing;
+    config.numCores = unsigned(traces.size());
+
+    SimSystem system(config, std::move(traces));
+    if (options.warmupPerCore > 0)
+        system.run(options.warmupPerCore);
+    system.startMeasurement();
+    system.run(options.accessesPerCore);
+
+    SimResult result;
+    result.workload = name;
+    result.configName = secmem.tree.name;
+    result.ipc = system.aggregateIpc();
+    result.cycles = system.measuredCycles();
+    result.instructions = system.measuredInstructions();
+    result.traffic = system.secmem().stats();
+    result.metadataCache = system.secmem().metadataCache().stats();
+    result.dram = system.dram().totalActivity();
+
+    EnergyParams energy_params;
+    const DramConfig &dram = config.dram;
+    result.energy = computeEnergy(
+        energy_params, result.dram, result.cycles, dram.cpuFreqHz,
+        dram.channels * dram.ranksPerChannel);
+    return result;
+}
+
+constexpr unsigned numCores = 4;
+
+} // namespace
+
+SimResult
+runWorkload(const WorkloadSpec &workload, const SecureModelConfig &secmem,
+            const SimOptions &options)
+{
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    traces.reserve(numCores);
+    for (unsigned core = 0; core < numCores; ++core)
+        traces.push_back(makeWorkloadTrace(workload, core, numCores,
+                                           secmem.memBytes,
+                                           options.seed,
+                                           options.footprintScale));
+    return runTraces(workload.name, std::move(traces), secmem, options);
+}
+
+SimResult
+runMix(const MixSpec &mix, const SecureModelConfig &secmem,
+       const SimOptions &options)
+{
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    traces.reserve(numCores);
+    for (unsigned core = 0; core < numCores; ++core) {
+        const WorkloadSpec *spec = findWorkload(mix.parts[core]);
+        if (!spec)
+            fatal("mix %s: unknown workload %s", mix.name.c_str(),
+                  mix.parts[core].c_str());
+        traces.push_back(makeWorkloadTrace(*spec, core, numCores,
+                                           secmem.memBytes,
+                                           options.seed,
+                                           options.footprintScale));
+    }
+    return runTraces(mix.name, std::move(traces), secmem, options);
+}
+
+SimResult
+runByName(const std::string &name, const SecureModelConfig &secmem,
+          const SimOptions &options)
+{
+    if (const WorkloadSpec *spec = findWorkload(name))
+        return runWorkload(*spec, secmem, options);
+    for (const MixSpec &mix : mixTable())
+        if (mix.name == name)
+            return runMix(mix, secmem, options);
+    fatal("unknown workload or mix: %s", name.c_str());
+}
+
+std::vector<std::string>
+evaluationWorkloads()
+{
+    std::vector<std::string> names;
+    for (const auto &spec : workloadTable())
+        if (spec.suite == "SPEC")
+            names.push_back(spec.name);
+    for (const auto &mix : mixTable())
+        names.push_back(mix.name);
+    for (const auto &spec : workloadTable())
+        if (spec.suite == "GAP")
+            names.push_back(spec.name);
+    return names;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / double(values.size()));
+}
+
+} // namespace morph

@@ -1,0 +1,117 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace morph
+{
+
+SimSystem::SimSystem(const SystemConfig &config,
+                     std::vector<std::unique_ptr<TraceSource>> traces)
+    : config_(config), traces_(std::move(traces)),
+      secmem_(config.secmem), dram_(config.dram)
+{
+    if (traces_.size() != config_.numCores)
+        fatal("system: %zu traces for %u cores", traces_.size(),
+              config_.numCores);
+    cores_.reserve(config_.numCores);
+    for (unsigned i = 0; i < config_.numCores; ++i)
+        cores_.emplace_back(i, *traces_[i], config_.core);
+    scratch_.reserve(512);
+}
+
+void
+SimSystem::step(Core &core)
+{
+    const TraceEntry entry = core.beginEntry();
+
+    scratch_.clear();
+    secmem_.onDataAccess(entry.line, entry.type, scratch_);
+
+    Cycle done = core.clock();
+    if (config_.timing) {
+        for (const MemAccess &access : scratch_) {
+            const Cycle finish =
+                dram_.access(access.line, access.type, core.clock());
+            if (access.critical)
+                done = std::max(done, finish);
+        }
+    }
+    core.completeEntry(entry, done);
+}
+
+void
+SimSystem::run(std::uint64_t accesses_per_core)
+{
+    std::vector<std::uint64_t> targets(cores_.size());
+    for (std::size_t i = 0; i < cores_.size(); ++i)
+        targets[i] = cores_[i].accesses() + accesses_per_core;
+
+    if (!config_.timing) {
+        // Traffic-only mode: DRAM untouched, core order immaterial.
+        for (std::size_t i = 0; i < cores_.size(); ++i)
+            while (cores_[i].accesses() < targets[i])
+                step(cores_[i]);
+        return;
+    }
+
+    // Time-ordered interleaving: always advance the core whose local
+    // clock is furthest behind.
+    while (true) {
+        Core *next = nullptr;
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            if (cores_[i].accesses() >= targets[i])
+                continue;
+            if (!next || cores_[i].clock() < next->clock())
+                next = &cores_[i];
+        }
+        if (!next)
+            break;
+        step(*next);
+    }
+    for (auto &core : cores_)
+        core.drain();
+}
+
+void
+SimSystem::startMeasurement()
+{
+    secmem_.resetStats();
+    dram_.resetActivity();
+    for (auto &core : cores_)
+        core.markMeasurementStart();
+}
+
+double
+SimSystem::aggregateIpc() const
+{
+    double total = 0.0;
+    for (const auto &core : cores_) {
+        const Cycle cycles = core.measuredCycles();
+        if (cycles > 0)
+            total += double(core.measuredInstructions()) /
+                     double(cycles);
+    }
+    return total;
+}
+
+Cycle
+SimSystem::measuredCycles() const
+{
+    Cycle longest = 0;
+    for (const auto &core : cores_)
+        longest = std::max(longest, core.measuredCycles());
+    return longest;
+}
+
+std::uint64_t
+SimSystem::measuredInstructions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &core : cores_)
+        total += core.measuredInstructions();
+    return total;
+}
+
+} // namespace morph

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The simulated system: cores + secure memory controller + DRAM.
+ *
+ * Cores are interleaved in local-time order (the earliest core runs
+ * its next trace entry first), so bank and bus contention between
+ * cores is modelled. Every data access expands through the
+ * SecureMemoryModel into its metadata/overflow accesses, all of which
+ * are scheduled on the DRAM system; reads complete for the core when
+ * their critical accesses (data + counter-fetch walk) finish.
+ */
+
+#ifndef MORPH_SIM_SYSTEM_HH
+#define MORPH_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "dram/dram_system.hh"
+#include "secmem/secure_memory_model.hh"
+#include "sim/core.hh"
+
+namespace morph
+{
+
+/** Full-system configuration. */
+struct SystemConfig
+{
+    unsigned numCores = 4;
+    CoreConfig core;
+    SecureModelConfig secmem;
+    DramConfig dram;
+
+    /** If false, DRAM timing is skipped: traces stream through the
+     *  controller for traffic/overflow statistics only (used by the
+     *  overflow-rate experiments, ~10x faster). */
+    bool timing = true;
+};
+
+/** A 4-core secure system executing per-core traces. */
+class SimSystem
+{
+  public:
+    /**
+     * @param config system parameters
+     * @param traces one trace per core (size must equal numCores)
+     */
+    SimSystem(const SystemConfig &config,
+              std::vector<std::unique_ptr<TraceSource>> traces);
+
+    /** Run until every core has performed @p accesses_per_core
+     *  accesses beyond its current position. */
+    void run(std::uint64_t accesses_per_core);
+
+    /** End warm-up: zero statistics, snapshot per-core baselines. */
+    void startMeasurement();
+
+    /** Sum of per-core IPCs over the measured interval. */
+    double aggregateIpc() const;
+
+    /** Longest measured per-core cycle count (execution time). */
+    Cycle measuredCycles() const;
+
+    /** Total measured instructions across cores. */
+    std::uint64_t measuredInstructions() const;
+
+    SecureMemoryModel &secmem() { return secmem_; }
+    const SecureMemoryModel &secmem() const { return secmem_; }
+    DramSystem &dram() { return dram_; }
+    const DramSystem &dram() const { return dram_; }
+    const SystemConfig &config() const { return config_; }
+    const Core &core(unsigned i) const { return cores_[i]; }
+
+  private:
+    void step(Core &core);
+
+    SystemConfig config_;
+    std::vector<std::unique_ptr<TraceSource>> traces_;
+    std::vector<Core> cores_;
+    SecureMemoryModel secmem_;
+    DramSystem dram_;
+    std::vector<MemAccess> scratch_;
+};
+
+} // namespace morph
+
+#endif // MORPH_SIM_SYSTEM_HH

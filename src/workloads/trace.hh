@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Post-LLC trace abstraction (USIMM-style).
+ *
+ * The simulator is trace-driven at the main-memory boundary: a trace
+ * entry is one LLC miss (read) or dirty write-back (write) together
+ * with the number of non-memory instructions the core executed since
+ * the previous entry. Synthetic generators (trace_generators.hh)
+ * produce unbounded streams matching published workload
+ * characteristics.
+ */
+
+#ifndef MORPH_WORKLOADS_TRACE_HH
+#define MORPH_WORKLOADS_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hh"
+
+namespace morph
+{
+
+/** One post-LLC memory event. */
+struct TraceEntry
+{
+    std::uint32_t gap;  ///< instructions executed before this access
+    AccessType type;    ///< read (demand miss) or write (write-back)
+    LineAddr line;      ///< physical data line accessed
+};
+
+/** An unbounded source of trace entries. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next entry. */
+    virtual TraceEntry next() = 0;
+};
+
+} // namespace morph
+
+#endif // MORPH_WORKLOADS_TRACE_HH

@@ -1,0 +1,89 @@
+#include "workloads/trace_file.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace morph
+{
+
+FileTraceSource::FileTraceSource(const std::string &path)
+{
+    std::ifstream input(path);
+    if (!input)
+        fatal("trace: cannot open %s", path.c_str());
+    parse(input, path);
+}
+
+FileTraceSource::FileTraceSource(std::istream &input,
+                                 const std::string &name)
+{
+    parse(input, name);
+}
+
+void
+FileTraceSource::parse(std::istream &input, const std::string &name)
+{
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(input, line)) {
+        ++line_number;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+
+        std::istringstream fields(line);
+        std::uint64_t gap;
+        std::string type;
+        std::string addr_hex;
+        if (!(fields >> gap))
+            continue; // blank or comment-only line
+        if (!(fields >> type >> addr_hex) ||
+            (type != "R" && type != "W")) {
+            fatal("trace %s:%zu: expected '<gap> <R|W> <hex-line>'",
+                  name.c_str(), line_number);
+        }
+        TraceEntry entry;
+        entry.gap = std::uint32_t(std::min<std::uint64_t>(gap, ~0u));
+        entry.type = type == "W" ? AccessType::Write : AccessType::Read;
+        char *end = nullptr;
+        entry.line = std::strtoull(addr_hex.c_str(), &end, 16);
+        if (end == addr_hex.c_str() || *end != '\0')
+            fatal("trace %s:%zu: bad line address '%s'", name.c_str(),
+                  line_number, addr_hex.c_str());
+        entries_.push_back(entry);
+    }
+    if (entries_.empty())
+        fatal("trace %s: no events", name.c_str());
+}
+
+TraceEntry
+FileTraceSource::next()
+{
+    const TraceEntry entry = entries_[position_];
+    position_ = (position_ + 1) % entries_.size();
+    return entry;
+}
+
+void
+writeTrace(std::ostream &output, const std::vector<TraceEntry> &entries)
+{
+    for (const TraceEntry &entry : entries) {
+        output << entry.gap << ' '
+               << (entry.type == AccessType::Write ? 'W' : 'R') << ' '
+               << std::hex << entry.line << std::dec << '\n';
+    }
+}
+
+std::vector<TraceEntry>
+captureTrace(TraceSource &source, std::size_t count)
+{
+    std::vector<TraceEntry> entries;
+    entries.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        entries.push_back(source.next());
+    return entries;
+}
+
+} // namespace morph

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Trace file I/O: bring-your-own LLC-miss traces.
+ *
+ * The simulator is trace-driven; besides the synthetic generators, a
+ * user with real USIMM-style traces can replay them. The format is
+ * one event per line, whitespace separated:
+ *
+ *     <gap> <R|W> <line-address-hex>
+ *
+ * e.g. "37 R 1a2b3c" — 37 non-memory instructions, then a read of
+ * cacheline 0x1a2b3c. '#' starts a comment; blank lines are skipped.
+ *
+ * FileTraceSource loads the whole trace into memory and replays it
+ * cyclically (simulations usually need more events than a captured
+ * trace holds; cycling a long trace is the standard USIMM practice).
+ */
+
+#ifndef MORPH_WORKLOADS_TRACE_FILE_HH
+#define MORPH_WORKLOADS_TRACE_FILE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workloads/trace.hh"
+
+namespace morph
+{
+
+/** Replays a trace file cyclically. */
+class FileTraceSource : public TraceSource
+{
+  public:
+    /** Load from a file path; fatal() on open/parse errors. */
+    explicit FileTraceSource(const std::string &path);
+
+    /** Load from a stream (tests); fatal() on parse errors. */
+    FileTraceSource(std::istream &input, const std::string &name);
+
+    TraceEntry next() override;
+
+    /** Number of distinct events loaded. */
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    void parse(std::istream &input, const std::string &name);
+
+    std::vector<TraceEntry> entries_;
+    std::size_t position_ = 0;
+};
+
+/** Write trace entries in the file format (round-trip with above). */
+void writeTrace(std::ostream &output,
+                const std::vector<TraceEntry> &entries);
+
+/**
+ * Capture @p count entries from @p source into a vector (trace
+ * snapshotting: synthesize once, replay identically elsewhere).
+ */
+std::vector<TraceEntry> captureTrace(TraceSource &source,
+                                     std::size_t count);
+
+} // namespace morph
+
+#endif // MORPH_WORKLOADS_TRACE_FILE_HH

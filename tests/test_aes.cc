@@ -1,0 +1,110 @@
+/**
+ * @file
+ * AES-128 known-answer tests (FIPS-197) and properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "crypto/aes128.hh"
+
+namespace morph
+{
+namespace
+{
+
+Aes128::Block
+block(std::initializer_list<unsigned> bytes)
+{
+    Aes128::Block b{};
+    unsigned i = 0;
+    for (unsigned v : bytes)
+        b[i++] = std::uint8_t(v);
+    return b;
+}
+
+/** FIPS-197 Appendix B: single-block example. */
+TEST(Aes128, Fips197AppendixB)
+{
+    const Aes128::Key key = block({0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                                   0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                                   0x09, 0xcf, 0x4f, 0x3c});
+    const Aes128::Block plain = block({0x32, 0x43, 0xf6, 0xa8, 0x88,
+                                       0x5a, 0x30, 0x8d, 0x31, 0x31,
+                                       0x98, 0xa2, 0xe0, 0x37, 0x07,
+                                       0x34});
+    const Aes128::Block expected = block({0x39, 0x25, 0x84, 0x1d, 0x02,
+                                          0xdc, 0x09, 0xfb, 0xdc, 0x11,
+                                          0x85, 0x97, 0x19, 0x6a, 0x0b,
+                                          0x32});
+    Aes128 aes(key);
+    EXPECT_EQ(aes.encrypt(plain), expected);
+    EXPECT_EQ(aes.decrypt(expected), plain);
+}
+
+/** FIPS-197 Appendix C.1: AES-128 vector. */
+TEST(Aes128, Fips197AppendixC1)
+{
+    const Aes128::Key key = block({0x00, 0x01, 0x02, 0x03, 0x04, 0x05,
+                                   0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b,
+                                   0x0c, 0x0d, 0x0e, 0x0f});
+    const Aes128::Block plain = block({0x00, 0x11, 0x22, 0x33, 0x44,
+                                       0x55, 0x66, 0x77, 0x88, 0x99,
+                                       0xaa, 0xbb, 0xcc, 0xdd, 0xee,
+                                       0xff});
+    const Aes128::Block expected = block({0x69, 0xc4, 0xe0, 0xd8, 0x6a,
+                                          0x7b, 0x04, 0x30, 0xd8, 0xcd,
+                                          0xb7, 0x80, 0x70, 0xb4, 0xc5,
+                                          0x5a});
+    Aes128 aes(key);
+    EXPECT_EQ(aes.encrypt(plain), expected);
+    EXPECT_EQ(aes.decrypt(expected), plain);
+}
+
+TEST(Aes128, RandomRoundTrips)
+{
+    Rng rng(31);
+    for (int iter = 0; iter < 200; ++iter) {
+        Aes128::Key key;
+        Aes128::Block plain;
+        for (auto &b : key)
+            b = std::uint8_t(rng.next());
+        for (auto &b : plain)
+            b = std::uint8_t(rng.next());
+        Aes128 aes(key);
+        EXPECT_EQ(aes.decrypt(aes.encrypt(plain)), plain);
+    }
+}
+
+TEST(Aes128, CiphertextDiffersFromPlaintext)
+{
+    Aes128 aes(Aes128::Key{});
+    const Aes128::Block plain{};
+    EXPECT_NE(aes.encrypt(plain), plain);
+}
+
+TEST(Aes128, KeySensitivity)
+{
+    Aes128::Key key_a{}, key_b{};
+    key_b[15] = 1;
+    const Aes128::Block plain{};
+    EXPECT_NE(Aes128(key_a).encrypt(plain),
+              Aes128(key_b).encrypt(plain));
+}
+
+TEST(Aes128, PlaintextSensitivity)
+{
+    Aes128 aes(Aes128::Key{});
+    Aes128::Block a{}, b{};
+    b[0] = 1;
+    const auto ca = aes.encrypt(a);
+    const auto cb = aes.encrypt(b);
+    // Avalanche: many bytes differ, not just one.
+    unsigned differing = 0;
+    for (unsigned i = 0; i < 16; ++i)
+        differing += ca[i] != cb[i];
+    EXPECT_GE(differing, 8u);
+}
+
+} // namespace
+} // namespace morph

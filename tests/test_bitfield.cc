@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for bit-granular cacheline field access.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitfield.hh"
+#include "common/rng.hh"
+
+namespace morph
+{
+namespace
+{
+
+TEST(Bitfield, SingleByteAlignedField)
+{
+    CachelineData line{};
+    writeBits(line, 0, 8, 0xab);
+    EXPECT_EQ(readBits(line, 0, 8), 0xabu);
+    EXPECT_EQ(line[0], 0xab);
+    EXPECT_EQ(line[1], 0x00);
+}
+
+TEST(Bitfield, CrossByteField)
+{
+    CachelineData line{};
+    writeBits(line, 4, 12, 0xfff);
+    EXPECT_EQ(readBits(line, 4, 12), 0xfffu);
+    EXPECT_EQ(line[0], 0xf0);
+    EXPECT_EQ(line[1], 0xff);
+    EXPECT_EQ(readBits(line, 0, 4), 0u);
+    EXPECT_EQ(readBits(line, 16, 8), 0u);
+}
+
+TEST(Bitfield, Full64BitField)
+{
+    CachelineData line{};
+    const std::uint64_t value = 0x0123456789abcdefull;
+    writeBits(line, 448, 64, value);
+    EXPECT_EQ(readBits(line, 448, 64), value);
+}
+
+TEST(Bitfield, LastBit)
+{
+    CachelineData line{};
+    writeBits(line, 511, 1, 1);
+    EXPECT_EQ(readBits(line, 511, 1), 1u);
+    EXPECT_EQ(line[63], 0x80);
+}
+
+TEST(Bitfield, OverwritePreservesNeighbors)
+{
+    CachelineData line;
+    line.fill(0xff);
+    writeBits(line, 13, 7, 0);
+    EXPECT_EQ(readBits(line, 13, 7), 0u);
+    EXPECT_EQ(readBits(line, 0, 13), 0x1fffu);
+    EXPECT_EQ(readBits(line, 20, 12), 0xfffu);
+}
+
+TEST(Bitfield, SetAndTestBit)
+{
+    CachelineData line{};
+    setBit(line, 100, true);
+    EXPECT_TRUE(testBit(line, 100));
+    EXPECT_FALSE(testBit(line, 99));
+    EXPECT_FALSE(testBit(line, 101));
+    setBit(line, 100, false);
+    EXPECT_FALSE(testBit(line, 100));
+}
+
+TEST(Bitfield, PopcountRange)
+{
+    CachelineData line{};
+    for (unsigned bit : {64u, 70u, 100u, 191u})
+        setBit(line, bit, true);
+    EXPECT_EQ(popcountBits(line, 64, 128), 4u);
+    EXPECT_EQ(popcountBits(line, 64, 37), 3u);  // bits [64,101)
+    EXPECT_EQ(popcountBits(line, 65, 127), 3u); // excludes bit 64
+    EXPECT_EQ(popcountBits(line, 0, 64), 0u);
+}
+
+TEST(Bitfield, PopcountOddWidths)
+{
+    CachelineData line{};
+    for (unsigned bit = 3; bit < 512; bit += 5)
+        setBit(line, bit, true);
+    unsigned expected = 0;
+    for (unsigned bit = 3; bit < 509; bit += 5)
+        ++expected;
+    EXPECT_EQ(popcountBits(line, 0, 509), expected);
+}
+
+/** Random field placements round-trip and never clobber neighbors. */
+TEST(BitfieldProperty, RandomRoundTrips)
+{
+    Rng rng(42);
+    for (int iter = 0; iter < 2000; ++iter) {
+        const unsigned width = 1 + unsigned(rng.below(64));
+        const unsigned offset = unsigned(rng.below(512 - width + 1));
+        const std::uint64_t value =
+            width == 64 ? rng.next() : rng.next() & ((1ull << width) - 1);
+
+        CachelineData line;
+        for (auto &b : line)
+            b = std::uint8_t(rng.next());
+        CachelineData before = line;
+
+        writeBits(line, offset, width, value);
+        ASSERT_EQ(readBits(line, offset, width), value)
+            << "offset=" << offset << " width=" << width;
+
+        // All bits outside [offset, offset+width) are untouched.
+        for (unsigned bit = 0; bit < 512; ++bit) {
+            if (bit >= offset && bit < offset + width)
+                continue;
+            ASSERT_EQ(testBit(line, bit), testBit(before, bit))
+                << "bit " << bit << " clobbered (offset=" << offset
+                << " width=" << width << ")";
+        }
+    }
+}
+
+} // namespace
+} // namespace morph

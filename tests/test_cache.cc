@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the set-associative LRU cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+namespace morph
+{
+namespace
+{
+
+TEST(Cache, Construction)
+{
+    Cache cache(128 * 1024, 8);
+    EXPECT_EQ(cache.sizeBytes(), 128u * 1024);
+    EXPECT_EQ(cache.ways(), 8u);
+    EXPECT_EQ(cache.numSets(), 128u * 1024 / 64 / 8);
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache(4096, 4);
+    EXPECT_FALSE(cache.access(1));
+    cache.insert(1, false);
+    EXPECT_TRUE(cache.access(1));
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, LruVictimSelection)
+{
+    // One set: 4 ways, 1 set (4 * 64 = 256 bytes).
+    Cache cache(256, 4);
+    for (LineAddr line = 0; line < 4; ++line)
+        cache.insert(line, false);
+    // Touch 0 so 1 becomes LRU.
+    cache.access(0);
+    const auto evicted = cache.insert(100, false);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->line, 1u);
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(Cache, DirtyEvictionReported)
+{
+    Cache cache(256, 4);
+    cache.insert(1, true);
+    for (LineAddr line = 2; line <= 4; ++line)
+        cache.insert(line, false);
+    const auto evicted = cache.insert(5, false);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->line, 1u);
+    EXPECT_TRUE(evicted->dirty);
+    EXPECT_EQ(cache.stats().dirtyEvictions, 1u);
+}
+
+TEST(Cache, WriteAccessSetsDirty)
+{
+    Cache cache(256, 4);
+    cache.insert(1, false);
+    cache.access(1, true);
+    const auto evicted = cache.invalidate(1);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_TRUE(evicted->dirty);
+}
+
+TEST(Cache, MarkDirty)
+{
+    Cache cache(256, 4);
+    EXPECT_FALSE(cache.markDirty(9));
+    cache.insert(9, false);
+    EXPECT_TRUE(cache.markDirty(9));
+    EXPECT_TRUE(cache.invalidate(9)->dirty);
+}
+
+TEST(Cache, InsertExistingUpdatesDirtyOnly)
+{
+    Cache cache(256, 4);
+    cache.insert(1, false);
+    const auto evicted = cache.insert(1, true);
+    EXPECT_FALSE(evicted.has_value());
+    EXPECT_TRUE(cache.invalidate(1)->dirty);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(Cache, SetIsolation)
+{
+    // Lines mapping to different sets never evict each other.
+    Cache cache(4096, 2); // 32 sets
+    const std::size_t sets = cache.numSets();
+    for (LineAddr line = 0; line < sets; ++line)
+        EXPECT_FALSE(cache.insert(line, false).has_value());
+    for (LineAddr line = 0; line < sets; ++line)
+        EXPECT_TRUE(cache.contains(line));
+}
+
+TEST(Cache, ConflictWithinSet)
+{
+    Cache cache(4096, 2); // 32 sets, 2 ways
+    const std::size_t sets = cache.numSets();
+    // Three lines in the same set: first one evicted.
+    cache.insert(0, false);
+    cache.insert(sets, false);
+    const auto evicted = cache.insert(2 * sets, false);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->line, 0u);
+}
+
+TEST(Cache, ContainsDoesNotTouchLruOrStats)
+{
+    Cache cache(256, 2); // 2 sets: even lines map to set 0
+    cache.insert(0, false);
+    cache.insert(2, false);
+    const auto hits = cache.stats().hits;
+    // contains() must not promote line 0 to MRU.
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_EQ(cache.stats().hits, hits);
+    const auto evicted = cache.insert(4, false);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->line, 0u);
+}
+
+TEST(Cache, FlushDropsEverything)
+{
+    Cache cache(256, 4);
+    for (LineAddr line = 0; line < 4; ++line)
+        cache.insert(line, true);
+    cache.flush();
+    for (LineAddr line = 0; line < 4; ++line)
+        EXPECT_FALSE(cache.contains(line));
+}
+
+TEST(Cache, ForEachVisitsValidLines)
+{
+    Cache cache(256, 4);
+    cache.insert(1, true);
+    cache.insert(2, false);
+    unsigned count = 0, dirty = 0;
+    cache.forEach([&](LineAddr, bool d) {
+        ++count;
+        dirty += d;
+    });
+    EXPECT_EQ(count, 2u);
+    EXPECT_EQ(dirty, 1u);
+}
+
+TEST(Cache, HitRate)
+{
+    Cache cache(256, 4);
+    cache.insert(1, false);
+    cache.access(1);
+    cache.access(2);
+    EXPECT_DOUBLE_EQ(cache.stats().hitRate(), 0.5);
+}
+
+TEST(CacheDeath, RejectsBadGeometry)
+{
+    EXPECT_EXIT(Cache(100, 3), ::testing::ExitedWithCode(1), "cache");
+}
+
+} // namespace
+} // namespace morph

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Determinism pins: identical configurations must produce bit-equal
+ * results across runs and across statistically independent replays —
+ * the property that makes every number in EXPERIMENTS.md
+ * reproducible. (These tests pin *reproducibility*, not specific
+ * values, so intentional model changes do not break them.)
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "workloads/trace_file.hh"
+
+namespace morph
+{
+namespace
+{
+
+SimOptions
+pinOptions()
+{
+    SimOptions options;
+    options.accessesPerCore = 10000;
+    options.warmupPerCore = 2000;
+    options.seed = 2018;
+    return options;
+}
+
+TEST(Determinism, TimedSimulationIsBitStable)
+{
+    SecureModelConfig config;
+    config.tree = TreeConfig::morph();
+    const SimResult a = runByName("soplex", config, pinOptions());
+    const SimResult b = runByName("soplex", config, pinOptions());
+
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+    for (unsigned c = 0; c < numTrafficCategories; ++c) {
+        EXPECT_EQ(a.traffic.reads[c], b.traffic.reads[c]) << c;
+        EXPECT_EQ(a.traffic.writes[c], b.traffic.writes[c]) << c;
+    }
+    EXPECT_EQ(a.traffic.totalOverflows(), b.traffic.totalOverflows());
+    EXPECT_EQ(a.dram.activates, b.dram.activates);
+    EXPECT_EQ(a.metadataCache.hits, b.metadataCache.hits);
+}
+
+TEST(Determinism, SeedChangesTheTraceButNotTheShape)
+{
+    SecureModelConfig config;
+    config.tree = TreeConfig::sc64();
+    auto options = pinOptions();
+    const SimResult a = runByName("mcf", config, options);
+    options.seed = 2019;
+    const SimResult b = runByName("mcf", config, options);
+
+    EXPECT_NE(a.cycles, b.cycles) << "different seeds, same trace?";
+    // Same workload statistics: bloat within a few percent.
+    EXPECT_NEAR(a.bloat(), b.bloat(), 0.15 * a.bloat());
+    EXPECT_NEAR(a.ipc, b.ipc, 0.15 * a.ipc);
+}
+
+TEST(Determinism, CapturedTraceReplaysIdentically)
+{
+    // A generator snapshot replayed from the file format drives the
+    // model to the exact same statistics as the live generator.
+    const WorkloadSpec *spec = findWorkload("omnetpp");
+    ASSERT_NE(spec, nullptr);
+
+    constexpr std::size_t events = 20000;
+    SecureModelConfig model_config;
+    model_config.tree = TreeConfig::morph();
+
+    auto live = makeWorkloadTrace(*spec, 0, 4, model_config.memBytes,
+                                  7);
+    const auto captured = captureTrace(*live, events);
+
+    SecureMemoryModel from_generator(model_config);
+    SecureMemoryModel from_file(model_config);
+
+    std::stringstream buffer;
+    writeTrace(buffer, captured);
+    FileTraceSource replay(buffer, "pin");
+
+    std::vector<MemAccess> scratch;
+    for (std::size_t i = 0; i < events; ++i) {
+        scratch.clear();
+        from_generator.onDataAccess(captured[i].line, captured[i].type,
+                                    scratch);
+        const TraceEntry entry = replay.next();
+        scratch.clear();
+        from_file.onDataAccess(entry.line, entry.type, scratch);
+    }
+    EXPECT_EQ(from_generator.stats().total(),
+              from_file.stats().total());
+    EXPECT_EQ(from_generator.stats().totalOverflows(),
+              from_file.stats().totalOverflows());
+}
+
+TEST(Determinism, GeometryIsPureFunctionOfConfig)
+{
+    const TreeGeometry a(16ull << 30, TreeConfig::morph());
+    const TreeGeometry b(16ull << 30, TreeConfig::morph());
+    ASSERT_EQ(a.levels().size(), b.levels().size());
+    for (std::size_t i = 0; i < a.levels().size(); ++i) {
+        EXPECT_EQ(a.levels()[i].entries, b.levels()[i].entries);
+        EXPECT_EQ(a.levels()[i].baseLine, b.levels()[i].baseLine);
+    }
+}
+
+} // namespace
+} // namespace morph

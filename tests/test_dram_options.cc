@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the optional DRAM realism features: refresh windows and
+ * posted-write queueing with read priority.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_system.hh"
+
+namespace morph
+{
+namespace
+{
+
+TEST(DramRefresh, BlocksAccessesInsideTheWindow)
+{
+    DramConfig config;
+    config.refresh = true;
+    DramSystem dram(config);
+
+    // An access submitted right at the start of rank 0's refresh
+    // window waits ~tRFC longer than one submitted after it.
+    DramConfig no_refresh;
+    DramSystem baseline(no_refresh);
+    const Cycle with = dram.access(0, AccessType::Read, 0);
+    const Cycle without = baseline.access(0, AccessType::Read, 0);
+    EXPECT_GE(with, without + config.cpu(config.tRFC) -
+                        config.cpu(config.tRCD));
+}
+
+TEST(DramRefresh, CountsRefreshes)
+{
+    DramConfig config;
+    config.refresh = true;
+    DramSystem dram(config);
+    // Submit accesses far apart: elapsed refresh windows accumulate.
+    const Cycle ten_intervals = config.cpu(config.tREFI) * 10;
+    dram.access(0, AccessType::Read, 0);
+    dram.access(2, AccessType::Read, ten_intervals);
+    EXPECT_GE(dram.totalActivity().refreshes, 10u);
+}
+
+TEST(DramRefresh, OffByDefault)
+{
+    DramSystem dram;
+    dram.access(0, AccessType::Read, 0);
+    EXPECT_EQ(dram.totalActivity().refreshes, 0u);
+}
+
+TEST(DramWriteQueue, WritesArePostedUntilHighWatermark)
+{
+    DramConfig config;
+    config.writeQueueing = true;
+    config.writeQueueHigh = 8;
+    config.writeQueueLow = 2;
+    DramSystem dram(config);
+
+    // Seven writes: all posted, none reach the banks yet.
+    for (LineAddr line = 0; line < 7; ++line) {
+        const Cycle done = dram.access(line * 2, AccessType::Write,
+                                       100);
+        EXPECT_EQ(done, 100u) << "posted write must return immediately";
+    }
+    EXPECT_EQ(dram.totalActivity().writes, 0u);
+
+    // The eighth crosses the watermark: a drain runs 6 writes
+    // (down to the low watermark).
+    dram.access(14, AccessType::Write, 100);
+    EXPECT_EQ(dram.totalActivity().writeDrains, 1u);
+    EXPECT_EQ(dram.totalActivity().writes, 6u);
+}
+
+TEST(DramWriteQueue, ReadsBypassBufferedWrites)
+{
+    DramConfig queued;
+    queued.writeQueueing = true;
+    DramConfig inline_writes;
+
+    DramSystem with_queue(queued);
+    DramSystem without_queue(inline_writes);
+
+    // A burst of writes followed by a read: with queueing the read is
+    // not stuck behind the writes.
+    Cycle read_with = 0, read_without = 0;
+    for (LineAddr line = 0; line < 16; ++line) {
+        with_queue.access(line * 2, AccessType::Write, 0);
+        without_queue.access(line * 2, AccessType::Write, 0);
+    }
+    read_with = with_queue.access(1000, AccessType::Read, 0);
+    read_without = without_queue.access(1000, AccessType::Read, 0);
+    EXPECT_LT(read_with, read_without);
+}
+
+TEST(DramWriteQueue, OffByDefaultWritesAreInline)
+{
+    DramSystem dram;
+    dram.access(0, AccessType::Write, 0);
+    EXPECT_EQ(dram.totalActivity().writes, 1u);
+    EXPECT_EQ(dram.totalActivity().writeDrains, 0u);
+}
+
+} // namespace
+} // namespace morph

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the system energy/EDP model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/energy.hh"
+
+namespace morph
+{
+namespace
+{
+
+ChannelActivity
+activityOf(std::uint64_t reads, std::uint64_t writes,
+           std::uint64_t acts, std::uint64_t refreshes = 0)
+{
+    ChannelActivity activity;
+    activity.reads = reads;
+    activity.writes = writes;
+    activity.activates = acts;
+    activity.refreshes = refreshes;
+    return activity;
+}
+
+TEST(Energy, ZeroCyclesZeroEverything)
+{
+    const EnergyReport report = computeEnergy(
+        EnergyParams{}, activityOf(0, 0, 0), 0, 3.2e9, 4);
+    EXPECT_DOUBLE_EQ(report.seconds, 0.0);
+    EXPECT_DOUBLE_EQ(report.systemJ, 0.0);
+    EXPECT_DOUBLE_EQ(report.edp, 0.0);
+    EXPECT_DOUBLE_EQ(report.systemPowerW, 0.0);
+}
+
+TEST(Energy, TimeFollowsFrequency)
+{
+    const EnergyReport report = computeEnergy(
+        EnergyParams{}, activityOf(0, 0, 0), 3'200'000'000ull, 3.2e9,
+        4);
+    EXPECT_DOUBLE_EQ(report.seconds, 1.0);
+}
+
+TEST(Energy, StaticPowerDominatesIdle)
+{
+    EnergyParams params;
+    const EnergyReport report = computeEnergy(
+        params, activityOf(0, 0, 0), 3'200'000'000ull, 3.2e9, 4);
+    // 1 second at 12 W static + 4 ranks background.
+    EXPECT_NEAR(report.systemJ,
+                params.staticSystemWatts +
+                    4 * params.dram.backgroundWattsPerRank,
+                1e-9);
+}
+
+TEST(Energy, TrafficAddsDramEnergy)
+{
+    EnergyParams params;
+    const EnergyReport idle = computeEnergy(
+        params, activityOf(0, 0, 0), 1000, 3.2e9, 4);
+    const EnergyReport busy = computeEnergy(
+        params, activityOf(1'000'000, 500'000, 800'000), 1000, 3.2e9,
+        4);
+    const double expected_delta =
+        1e6 * params.dram.readEnergyJ + 5e5 * params.dram.writeEnergyJ +
+        8e5 * params.dram.activateEnergyJ;
+    EXPECT_NEAR(busy.systemJ - idle.systemJ, expected_delta, 1e-9);
+}
+
+TEST(Energy, RefreshCounted)
+{
+    EnergyParams params;
+    const EnergyReport without = computeEnergy(
+        params, activityOf(0, 0, 0, 0), 1000, 3.2e9, 4);
+    const EnergyReport with = computeEnergy(
+        params, activityOf(0, 0, 0, 1000), 1000, 3.2e9, 4);
+    EXPECT_NEAR(with.systemJ - without.systemJ,
+                1000 * params.dram.refreshEnergyJ, 1e-12);
+}
+
+TEST(Energy, EdpIsEnergyTimesDelay)
+{
+    const EnergyReport report = computeEnergy(
+        EnergyParams{}, activityOf(100, 50, 80), 123456789, 3.2e9, 8);
+    EXPECT_NEAR(report.edp, report.systemJ * report.seconds,
+                report.edp * 1e-12);
+    EXPECT_NEAR(report.systemPowerW, report.systemJ / report.seconds,
+                1e-9);
+}
+
+TEST(Energy, FasterExecutionWinsEdpDespiteHigherPower)
+{
+    // The Fig 18 relationship: same work in less time -> higher
+    // average power but better energy and much better EDP.
+    EnergyParams params;
+    const auto work = activityOf(1'000'000, 400'000, 700'000);
+    const EnergyReport slow = computeEnergy(params, work,
+                                            4'000'000'000ull, 3.2e9, 4);
+    const EnergyReport fast = computeEnergy(params, work,
+                                            3'500'000'000ull, 3.2e9, 4);
+    EXPECT_GT(fast.systemPowerW, slow.systemPowerW);
+    EXPECT_LT(fast.systemJ, slow.systemJ);
+    EXPECT_LT(fast.edp, slow.edp * 0.87);
+}
+
+} // namespace
+} // namespace morph

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the INI configuration parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/ini.hh"
+
+namespace morph
+{
+namespace
+{
+
+IniFile
+parse(const std::string &text)
+{
+    std::istringstream input(text);
+    return IniFile::fromStream(input, "inline");
+}
+
+TEST(Ini, SectionsAndKeys)
+{
+    const IniFile ini = parse("top = 1\n"
+                              "[system]\n"
+                              "workload = mcf\n"
+                              "mem_gb = 16\n"
+                              "[dram]\n"
+                              "refresh = true\n");
+    EXPECT_TRUE(ini.has("top"));
+    EXPECT_TRUE(ini.has("system.workload"));
+    EXPECT_FALSE(ini.has("system.refresh"));
+    EXPECT_EQ(ini.getString("system.workload", "x"), "mcf");
+    EXPECT_EQ(ini.getInt("system.mem_gb", 0), 16);
+    EXPECT_TRUE(ini.getBool("dram.refresh", false));
+}
+
+TEST(Ini, FallbacksForMissingKeys)
+{
+    const IniFile ini = parse("[a]\nb = 1\n");
+    EXPECT_EQ(ini.getString("a.missing", "dflt"), "dflt");
+    EXPECT_EQ(ini.getInt("a.missing", 42), 42);
+    EXPECT_DOUBLE_EQ(ini.getDouble("a.missing", 2.5), 2.5);
+    EXPECT_TRUE(ini.getBool("a.missing", true));
+}
+
+TEST(Ini, CommentsAndWhitespace)
+{
+    const IniFile ini = parse("; full line comment\n"
+                              "# hash comment\n"
+                              "  [ sec ]  \n"
+                              "  key =  spaced value  ; trailing\n");
+    EXPECT_EQ(ini.getString("sec.key", ""), "spaced value");
+}
+
+TEST(Ini, LastAssignmentWins)
+{
+    const IniFile ini = parse("[s]\nk = 1\nk = 2\n");
+    EXPECT_EQ(ini.getInt("s.k", 0), 2);
+    EXPECT_EQ(ini.keys().size(), 2u);
+}
+
+TEST(Ini, NumericFormats)
+{
+    const IniFile ini = parse("[n]\nhex = 0x40\nneg = -3\nf = 2.5e2\n");
+    EXPECT_EQ(ini.getInt("n.hex", 0), 64);
+    EXPECT_EQ(ini.getInt("n.neg", 0), -3);
+    EXPECT_DOUBLE_EQ(ini.getDouble("n.f", 0), 250.0);
+}
+
+TEST(Ini, BooleanSpellings)
+{
+    const IniFile ini = parse("[b]\na = yes\nb = OFF\nc = 1\nd = False\n");
+    EXPECT_TRUE(ini.getBool("b.a", false));
+    EXPECT_FALSE(ini.getBool("b.b", true));
+    EXPECT_TRUE(ini.getBool("b.c", false));
+    EXPECT_FALSE(ini.getBool("b.d", true));
+}
+
+TEST(IniDeath, RejectsBadSyntax)
+{
+    EXPECT_EXIT(parse("[unterminated\n"), ::testing::ExitedWithCode(1),
+                "section");
+    EXPECT_EXIT(parse("novalue\n"), ::testing::ExitedWithCode(1),
+                "key = value");
+    EXPECT_EXIT(parse("= 3\n"), ::testing::ExitedWithCode(1), "key");
+}
+
+TEST(IniDeath, RejectsBadTypes)
+{
+    const IniFile ini = parse("[t]\nx = abc\n");
+    EXPECT_EXIT(ini.getInt("t.x", 0), ::testing::ExitedWithCode(1),
+                "integer");
+    EXPECT_EXIT(ini.getDouble("t.x", 0), ::testing::ExitedWithCode(1),
+                "number");
+    EXPECT_EXIT(ini.getBool("t.x", false), ::testing::ExitedWithCode(1),
+                "boolean");
+}
+
+TEST(IniDeath, RejectsMissingFile)
+{
+    EXPECT_EXIT(IniFile::fromFile("/nonexistent/x.ini"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace morph

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the MAC engine (tag binding and truncation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/mac.hh"
+
+namespace morph
+{
+namespace
+{
+
+SipKey
+testKey()
+{
+    SipKey key;
+    for (unsigned i = 0; i < 16; ++i)
+        key[i] = std::uint8_t(0xa0 + i);
+    return key;
+}
+
+class MacTest : public ::testing::Test
+{
+  protected:
+    MacEngine mac{testKey()};
+    CachelineData payload{};
+};
+
+TEST_F(MacTest, Deterministic)
+{
+    EXPECT_EQ(mac.compute(1, 2, payload), mac.compute(1, 2, payload));
+}
+
+TEST_F(MacTest, BindsAddress)
+{
+    EXPECT_NE(mac.compute(1, 2, payload), mac.compute(3, 2, payload));
+}
+
+TEST_F(MacTest, BindsCounter)
+{
+    EXPECT_NE(mac.compute(1, 2, payload), mac.compute(1, 3, payload));
+}
+
+TEST_F(MacTest, BindsPayload)
+{
+    CachelineData other = payload;
+    other[63] ^= 1;
+    EXPECT_NE(mac.compute(1, 2, payload), mac.compute(1, 2, other));
+}
+
+TEST_F(MacTest, KeyedDistinctly)
+{
+    SipKey other_key = testKey();
+    other_key[7] ^= 0xff;
+    MacEngine other(other_key);
+    EXPECT_NE(mac.compute(1, 2, payload), other.compute(1, 2, payload));
+}
+
+TEST_F(MacTest, TruncationMasksHighBits)
+{
+    const std::uint64_t full = mac.compute(1, 2, payload, 64);
+    const std::uint64_t t54 = mac.compute(1, 2, payload, 54);
+    EXPECT_EQ(t54, full & ((1ull << 54) - 1));
+    EXPECT_EQ(t54 >> 54, 0u);
+}
+
+TEST_F(MacTest, EqualRespectsWidth)
+{
+    const std::uint64_t a = 0x00ff00ff00ff00ffull;
+    const std::uint64_t b = 0xffff00ff00ff00ffull; // differs in top 16
+    EXPECT_TRUE(MacEngine::equal(a, b, 48));
+    EXPECT_FALSE(MacEngine::equal(a, b, 64));
+    EXPECT_FALSE(MacEngine::equal(a, a ^ 1, 54));
+    EXPECT_TRUE(MacEngine::equal(a, a, 1));
+}
+
+TEST_F(MacTest, SingleBitFlipsChangeTag)
+{
+    const std::uint64_t base = mac.compute(9, 9, payload, 54);
+    for (unsigned byte = 0; byte < lineBytes; byte += 5) {
+        CachelineData flipped = payload;
+        flipped[byte] ^= 0x01;
+        EXPECT_FALSE(MacEngine::equal(
+            base, mac.compute(9, 9, flipped, 54), 54))
+            << "byte " << byte;
+    }
+}
+
+} // namespace
+} // namespace morph

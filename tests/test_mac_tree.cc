@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the Bonsai Merkle MAC-tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "integrity/mac_tree.hh"
+#include "integrity/tree_geometry.hh"
+
+namespace morph
+{
+namespace
+{
+
+SipKey
+testKey()
+{
+    SipKey key{};
+    key[1] = 0xb7;
+    return key;
+}
+
+CachelineData
+leafImage(std::uint8_t seed)
+{
+    CachelineData image;
+    for (unsigned i = 0; i < lineBytes; ++i)
+        image[i] = std::uint8_t(seed ^ (i * 7));
+    return image;
+}
+
+TEST(MacTree, GeometryIsEightAry)
+{
+    MacTree tree(4096, testKey());
+    const auto &levels = tree.levels();
+    ASSERT_EQ(levels.size(), 4u); // 512, 64, 8, 1
+    EXPECT_EQ(levels[0].nodes, 512u);
+    EXPECT_EQ(levels[1].nodes, 64u);
+    EXPECT_EQ(levels[2].nodes, 8u);
+    EXPECT_EQ(levels[3].nodes, 1u);
+}
+
+TEST(MacTree, PaperScaleGeometry)
+{
+    // Over SC-64 encryption counters of a 16 GB memory (4M entries),
+    // the 8-ary MAC tree needs ~36.6 MB — 9x the 4 MB counter tree
+    // and 36x MorphTree, the structural gap of paper §VIII-B1.
+    const TreeGeometry sc64(16ull << 30, TreeConfig::sc64());
+    MacTree tree(sc64.levels()[0].entries, testKey());
+    EXPECT_NEAR(double(tree.treeBytes()) / double(1 << 20), 36.6, 0.3);
+    const TreeGeometry morphg(16ull << 30, TreeConfig::morph());
+    EXPECT_GT(tree.treeBytes(), 30 * morphg.treeBytes());
+}
+
+TEST(MacTree, PublishedLeafVerifies)
+{
+    MacTree tree(1000, testKey());
+    tree.updateLeaf(42, leafImage(1));
+    EXPECT_TRUE(tree.verifyLeaf(42, leafImage(1)));
+    EXPECT_TRUE(tree.verifyAll());
+}
+
+TEST(MacTree, UnpublishedLeafDoesNotVerify)
+{
+    MacTree tree(1000, testKey());
+    tree.updateLeaf(0, leafImage(1));
+    EXPECT_FALSE(tree.verifyLeaf(7, leafImage(2)));
+}
+
+TEST(MacTree, WrongImageRejected)
+{
+    MacTree tree(1000, testKey());
+    tree.updateLeaf(42, leafImage(1));
+    EXPECT_FALSE(tree.verifyLeaf(42, leafImage(2)));
+    CachelineData flipped = leafImage(1);
+    flipped[63] ^= 0x01;
+    EXPECT_FALSE(tree.verifyLeaf(42, flipped));
+}
+
+TEST(MacTree, UpdatesSupersedeOldVersions)
+{
+    // The replay-protection core: after an update, the old image no
+    // longer verifies anywhere on the path.
+    MacTree tree(1000, testKey());
+    tree.updateLeaf(9, leafImage(1));
+    ASSERT_TRUE(tree.verifyLeaf(9, leafImage(1)));
+    tree.updateLeaf(9, leafImage(2));
+    EXPECT_TRUE(tree.verifyLeaf(9, leafImage(2)));
+    EXPECT_FALSE(tree.verifyLeaf(9, leafImage(1)));
+}
+
+TEST(MacTree, InteriorNodeReplayDetected)
+{
+    // Restore a stale interior node (with then-valid child hashes):
+    // its own hash no longer matches the parent — caught above it.
+    MacTree tree(1000, testKey());
+    tree.updateLeaf(3, leafImage(1));
+    const CachelineData stale = tree.nodeImage(1, 0);
+
+    tree.updateLeaf(3, leafImage(2));
+    tree.injectNode(1, 0, stale);
+    EXPECT_FALSE(tree.verifyLeaf(3, leafImage(1)));
+    EXPECT_FALSE(tree.verifyAll());
+}
+
+TEST(MacTree, SiblingSubtreesIndependent)
+{
+    MacTree tree(4096, testKey());
+    tree.updateLeaf(0, leafImage(1));
+    tree.updateLeaf(4000, leafImage(2));
+
+    CachelineData corrupted = tree.nodeImage(1, 0);
+    corrupted[0] ^= 0xff;
+    tree.injectNode(1, 0, corrupted);
+    EXPECT_FALSE(tree.verifyLeaf(0, leafImage(1)));
+    EXPECT_TRUE(tree.verifyLeaf(4000, leafImage(2)));
+}
+
+TEST(MacTree, ManyLeavesStress)
+{
+    MacTree tree(100000, testKey());
+    Rng rng(131);
+    std::vector<std::pair<std::uint64_t, std::uint8_t>> published;
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t leaf = rng.below(100000);
+        const std::uint8_t seed = std::uint8_t(rng.next());
+        tree.updateLeaf(leaf, leafImage(seed));
+        published.emplace_back(leaf, seed);
+    }
+    EXPECT_TRUE(tree.verifyAll());
+    // The latest version of each distinct leaf verifies.
+    for (auto it = published.rbegin(); it != published.rend(); ++it) {
+        bool latest = true;
+        for (auto later = published.rbegin(); later != it; ++later)
+            if (later->first == it->first)
+                latest = false;
+        if (latest) {
+            EXPECT_TRUE(tree.verifyLeaf(it->first,
+                                        leafImage(it->second)));
+        }
+    }
+}
+
+TEST(MacTree, SingleLeafDegenerateTree)
+{
+    MacTree tree(1, testKey());
+    EXPECT_EQ(tree.levels().size(), 1u);
+    tree.updateLeaf(0, leafImage(5));
+    EXPECT_TRUE(tree.verifyLeaf(0, leafImage(5)));
+    EXPECT_FALSE(tree.verifyLeaf(0, leafImage(6)));
+}
+
+TEST(MacTreeDeath, RejectsZeroLeaves)
+{
+    EXPECT_EXIT(MacTree(0, testKey()), ::testing::ExitedWithCode(1),
+                "leaf");
+}
+
+} // namespace
+} // namespace morph

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the Minor Counter Rebasing codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "counters/mcr_codec.hh"
+#include "counters/zcc_codec.hh"
+
+namespace morph
+{
+namespace
+{
+
+TEST(Mcr, InitState)
+{
+    CachelineData line;
+    mcr::init(line, 1000, 42);
+    EXPECT_TRUE(mcr::isMcr(line));
+    EXPECT_FALSE(zcc::isZcc(line));
+    EXPECT_EQ(mcr::majorOf(line), 1000u);
+    EXPECT_EQ(mcr::base(line, 0), 42u);
+    EXPECT_EQ(mcr::base(line, 1), 42u);
+    EXPECT_EQ(mcr::nonZeroCount(line), 0u);
+}
+
+TEST(Mcr, EffectiveValueComposition)
+{
+    CachelineData line;
+    mcr::init(line, 3, 5);
+    mcr::setMinor(line, 10, 2);
+    // effective = ((major << 7) | base) + minor = (3*128 + 5) + 2
+    EXPECT_EQ(mcr::effective(line, 10), 3u * 128 + 5 + 2);
+    EXPECT_EQ(mcr::effective(line, 11), 3u * 128 + 5);
+}
+
+TEST(Mcr, SetsHaveIndependentBases)
+{
+    CachelineData line;
+    mcr::init(line, 0, 10);
+    mcr::setBase(line, 1, 99);
+    EXPECT_EQ(mcr::base(line, 0), 10u);
+    EXPECT_EQ(mcr::base(line, 1), 99u);
+    mcr::setMinor(line, 70, 1);
+    EXPECT_EQ(mcr::effective(line, 70), 100u);
+    EXPECT_EQ(mcr::effective(line, 0), 10u);
+}
+
+TEST(Mcr, MinMaxMinorPerSet)
+{
+    CachelineData line;
+    mcr::init(line, 0, 0);
+    for (unsigned i = 0; i < 64; ++i)
+        mcr::setMinor(line, i, 2); // set 0 floor is 2
+    mcr::setMinor(line, 5, 7);
+    EXPECT_EQ(mcr::minMinor(line, 0), 2u);
+    EXPECT_EQ(mcr::maxMinor(line, 0), 7u);
+    EXPECT_EQ(mcr::minMinor(line, 1), 0u);
+    EXPECT_EQ(mcr::maxMinor(line, 1), 0u);
+}
+
+TEST(Mcr, MaxEffectiveAcrossSets)
+{
+    CachelineData line;
+    mcr::init(line, 1, 0);
+    mcr::setBase(line, 1, 50);
+    mcr::setMinor(line, 3, 4);   // set 0: 128 + 0 + 4
+    mcr::setMinor(line, 100, 6); // set 1: 128 + 50 + 6
+    EXPECT_EQ(mcr::maxEffective(line), 128u + 50 + 6);
+}
+
+TEST(Mcr, MinorBoundary)
+{
+    CachelineData line;
+    mcr::init(line, 0, 0);
+    mcr::setMinor(line, 127, mcr::minorMax);
+    EXPECT_EQ(mcr::minorValue(line, 127), 7u);
+    EXPECT_EQ(mcr::minorValue(line, 126), 0u);
+    EXPECT_EQ(mcr::nonZeroCount(line), 1u);
+}
+
+TEST(Mcr, FormatFlagSharedWithZcc)
+{
+    // Both codecs must agree on where the format flag lives.
+    CachelineData line;
+    zcc::init(line, 9);
+    EXPECT_FALSE(mcr::isMcr(line));
+    mcr::init(line, 9, 0);
+    EXPECT_FALSE(zcc::isZcc(line));
+}
+
+TEST(Mcr, MajorBoundary)
+{
+    CachelineData line;
+    const std::uint64_t max_major = (1ull << mcr::majorBits) - 1;
+    mcr::init(line, max_major, mcr::baseMax);
+    EXPECT_EQ(mcr::majorOf(line), max_major);
+    EXPECT_EQ(mcr::base(line, 0), mcr::baseMax);
+    EXPECT_EQ(mcr::base(line, 1), mcr::baseMax);
+    EXPECT_EQ(mcr::nonZeroCount(line), 0u)
+        << "header bits must not leak into the minor field";
+}
+
+} // namespace
+} // namespace morph

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Unit and property tests for Morphable Counters (the paper's core).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "counters/mcr_codec.hh"
+#include "counters/morph_counter.hh"
+#include "counters/zcc_codec.hh"
+
+namespace morph
+{
+namespace
+{
+
+TEST(MorphCounter, StartsInZcc)
+{
+    MorphableCounterFormat fmt(true);
+    CachelineData line;
+    fmt.init(line);
+    EXPECT_TRUE(fmt.inZccFormat(line));
+    EXPECT_EQ(fmt.arity(), 128u);
+    for (unsigned i = 0; i < 128; ++i)
+        EXPECT_EQ(fmt.read(line, i), 0u);
+}
+
+TEST(MorphCounter, SimpleIncrements)
+{
+    MorphableCounterFormat fmt(true);
+    CachelineData line;
+    fmt.init(line);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_FALSE(fmt.increment(line, 7).overflow);
+    EXPECT_EQ(fmt.read(line, 7), 5u);
+    EXPECT_EQ(fmt.nonZeroCount(line), 1u);
+}
+
+TEST(MorphCounter, SparseCountersGetSixteenBits)
+{
+    // A single hot counter tolerates 2^16 - 1 increments before the
+    // first overflow (Fig 10's peak).
+    MorphableCounterFormat fmt(true);
+    CachelineData line;
+    fmt.init(line);
+    for (std::uint64_t w = 1; w < (1ull << 16); ++w)
+        ASSERT_FALSE(fmt.increment(line, 0).overflow) << w;
+    const WriteResult res = fmt.increment(line, 0);
+    EXPECT_TRUE(res.overflow);
+    EXPECT_EQ(res.reencCount(), 128u);
+}
+
+TEST(MorphCounter, OverflowAdvancesMajorPastLargest)
+{
+    MorphableCounterFormat fmt(true);
+    CachelineData line;
+    fmt.init(line);
+    for (int i = 0; i < 100; ++i)
+        fmt.increment(line, 3);
+    const std::uint64_t before = fmt.read(line, 3);
+
+    // Saturate to force the reset.
+    while (!fmt.increment(line, 3).overflow) {}
+    // Every child (including the hot one) moved strictly forward.
+    EXPECT_GT(fmt.read(line, 3), before);
+    EXPECT_GT(fmt.read(line, 0), 0u);
+    EXPECT_EQ(fmt.nonZeroCount(line), 0u);
+}
+
+TEST(MorphCounter, MorphsToMcrAtSixtyFiveCounters)
+{
+    MorphableCounterFormat fmt(true);
+    CachelineData line;
+    fmt.init(line);
+    for (unsigned i = 0; i < 64; ++i)
+        ASSERT_FALSE(fmt.increment(line, i).overflow);
+    EXPECT_TRUE(fmt.inZccFormat(line));
+
+    const WriteResult res = fmt.increment(line, 64);
+    EXPECT_TRUE(res.formatSwitch);
+    EXPECT_FALSE(res.overflow);
+    EXPECT_FALSE(fmt.inZccFormat(line));
+
+    // Values preserved across the morph.
+    for (unsigned i = 0; i <= 64; ++i)
+        EXPECT_EQ(fmt.read(line, i), 1u) << i;
+    for (unsigned i = 65; i < 128; ++i)
+        EXPECT_EQ(fmt.read(line, i), 0u) << i;
+}
+
+TEST(MorphCounter, MorphPreservesMacField)
+{
+    MorphableCounterFormat fmt(true);
+    CachelineData line;
+    fmt.init(line);
+    CounterFormat::setMac(line, 0xabcdull);
+    for (unsigned i = 0; i < 65; ++i)
+        fmt.increment(line, i);
+    EXPECT_FALSE(fmt.inZccFormat(line));
+    EXPECT_EQ(CounterFormat::mac(line), 0xabcdull);
+}
+
+TEST(MorphCounter, MorphWithLargeValueResetsInstead)
+{
+    // If a live counter exceeds 3 bits when the 65th child arrives,
+    // lossless conversion is impossible: a full reset must occur.
+    MorphableCounterFormat fmt(true);
+    CachelineData line;
+    fmt.init(line);
+    for (unsigned i = 0; i < 64; ++i)
+        fmt.increment(line, i);
+    for (int w = 0; w < 10; ++w)
+        fmt.increment(line, 0); // child 0 now at 11: fits 4 bits, not 3
+    ASSERT_TRUE(fmt.inZccFormat(line));
+
+    const WriteResult res = fmt.increment(line, 64);
+    EXPECT_TRUE(res.overflow);
+    EXPECT_EQ(res.reencCount(), 128u);
+    EXPECT_TRUE(fmt.inZccFormat(line)) << "reset returns to empty ZCC";
+}
+
+TEST(MorphCounter, RebasingAvoidsOverflowUnderUniformWrites)
+{
+    // Round-robin writes to all 128 children: after the morph to MCR,
+    // every saturation rebase succeeds (min minor > 0) and no
+    // overflow occurs for thousands of writes.
+    MorphableCounterFormat fmt(true);
+    CachelineData line;
+    fmt.init(line);
+    unsigned overflows = 0, rebases = 0;
+    for (std::uint64_t w = 0; w < 10000; ++w) {
+        const WriteResult res = fmt.increment(line, unsigned(w % 128));
+        overflows += res.overflow;
+        rebases += res.rebase;
+    }
+    EXPECT_EQ(overflows, 0u);
+    EXPECT_GT(rebases, 0u);
+}
+
+TEST(MorphCounter, ZccOnlyResetsWhereRebasingWould)
+{
+    MorphableCounterFormat fmt(false);
+    CachelineData line;
+    fmt.init(line);
+    unsigned overflows = 0;
+    for (std::uint64_t w = 0; w < 10000; ++w)
+        overflows += fmt.increment(line, unsigned(w % 128)).overflow;
+    EXPECT_GT(overflows, 0u)
+        << "without rebasing, uniform 3-bit counters must reset";
+}
+
+TEST(MorphCounter, RebaseKeepsOtherEffectiveValues)
+{
+    MorphableCounterFormat fmt(true);
+    CachelineData line;
+    fmt.init(line);
+    // Morph to MCR with all children at 1, then saturate child 0.
+    for (unsigned i = 0; i < 128; ++i)
+        fmt.increment(line, i);
+    ASSERT_FALSE(fmt.inZccFormat(line));
+    for (int w = 0; w < 6; ++w)
+        fmt.increment(line, 0); // child 0: 7, others: 1
+
+    std::uint64_t before[128];
+    for (unsigned i = 0; i < 128; ++i)
+        before[i] = fmt.read(line, i);
+
+    const WriteResult res = fmt.increment(line, 0); // must rebase
+    EXPECT_TRUE(res.rebase);
+    EXPECT_FALSE(res.overflow);
+    EXPECT_EQ(fmt.read(line, 0), before[0] + 1);
+    for (unsigned i = 1; i < 128; ++i)
+        EXPECT_EQ(fmt.read(line, i), before[i]) << i;
+}
+
+TEST(MorphCounter, SetResetWhenRebaseImpossible)
+{
+    MorphableCounterFormat fmt(true);
+    CachelineData line;
+    fmt.init(line);
+    for (unsigned i = 0; i < 128; ++i)
+        fmt.increment(line, i);
+    ASSERT_FALSE(fmt.inZccFormat(line));
+
+    // Zero a set-0 child's minor by keeping it untouched after a
+    // morph isn't possible here; instead drive child 64 (set 1) to
+    // saturation while child 65 stays at 1 and child 70's minor is
+    // zeroed via a set reset — simpler: saturate child 0 repeatedly
+    // until a reset happens; the first reset in set 0 requires some
+    // minor to be zero, which occurs after the rebase budget runs out.
+    unsigned set_resets = 0;
+    for (std::uint64_t w = 0; w < 100000 && set_resets == 0; ++w) {
+        const WriteResult res = fmt.increment(line, 0);
+        if (res.overflow && res.reencCount() == 64) {
+            ++set_resets;
+            EXPECT_EQ(res.reencBegin, 0u);
+            EXPECT_EQ(res.reencEnd, 64u);
+        }
+    }
+    EXPECT_EQ(set_resets, 1u);
+}
+
+TEST(MorphCounter, BaseOverflowFallsBackToZcc)
+{
+    MorphableCounterFormat fmt(true);
+    CachelineData line;
+    fmt.init(line);
+    for (unsigned i = 0; i < 128; ++i)
+        fmt.increment(line, i);
+    ASSERT_FALSE(fmt.inZccFormat(line));
+
+    // Hammer one child: set resets advance the base by 8 each time;
+    // the 7-bit base eventually saturates and the line returns to ZCC.
+    bool returned_to_zcc = false;
+    for (std::uint64_t w = 0; w < 100000 && !returned_to_zcc; ++w) {
+        const WriteResult res = fmt.increment(line, 0);
+        if (res.overflow && res.formatSwitch) {
+            EXPECT_EQ(res.reencCount(), 128u);
+            returned_to_zcc = true;
+        }
+    }
+    EXPECT_TRUE(returned_to_zcc);
+    EXPECT_TRUE(fmt.inZccFormat(line));
+}
+
+TEST(MorphCounter, AdversarialPatternBound)
+{
+    // §V of the paper: 52 single writes shrink the width to 4 bits,
+    // then hammering one of those counters overflows it at the 67th
+    // write overall — the paper's "overflow in 67 writes" DoS bound.
+    MorphableCounterFormat fmt(true);
+    CachelineData line;
+    fmt.init(line);
+    std::uint64_t writes = 0;
+    for (unsigned i = 1; i <= 52; ++i) {
+        ++writes;
+        ASSERT_FALSE(fmt.increment(line, i).overflow);
+    }
+    bool overflowed = false;
+    while (!overflowed) {
+        ++writes;
+        overflowed = fmt.increment(line, 1).overflow;
+    }
+    EXPECT_EQ(writes, 67u);
+}
+
+/** The cardinal security property under random write storms. */
+class MorphCounterProperty
+    : public ::testing::TestWithParam<std::tuple<bool, std::uint64_t>>
+{
+};
+
+TEST_P(MorphCounterProperty, MonotonicAndNoSilentChanges)
+{
+    const bool rebasing = std::get<0>(GetParam());
+    const std::uint64_t seed = std::get<1>(GetParam());
+    MorphableCounterFormat fmt(rebasing);
+    CachelineData line;
+    fmt.init(line);
+
+    std::vector<std::uint64_t> shadow(128, 0);
+    Rng rng(seed);
+    for (int iter = 0; iter < 60000; ++iter) {
+        // Mix uniform and skewed picks to exercise every format path.
+        const unsigned idx = (iter % 3 == 0)
+                                 ? unsigned(rng.below(8))
+                                 : unsigned(rng.below(128));
+        const WriteResult res = fmt.increment(line, idx);
+
+        const std::uint64_t value = fmt.read(line, idx);
+        ASSERT_GT(value, shadow[idx])
+            << "counter reuse at " << idx << " iter " << iter;
+        ASSERT_LT(value, 1ull << 56) << "effective width exceeded";
+        shadow[idx] = value;
+
+        for (unsigned i = 0; i < 128; ++i) {
+            if (i == idx)
+                continue;
+            const std::uint64_t v = fmt.read(line, i);
+            if (v != shadow[i]) {
+                ASSERT_TRUE(res.overflow &&
+                            i >= res.reencBegin && i < res.reencEnd)
+                    << "silent effective-value change at " << i
+                    << " iter " << iter;
+                ASSERT_GT(v, shadow[i]) << "backward move at " << i;
+                shadow[i] = v;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, MorphCounterProperty,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(1u, 42u, 20180614u)));
+
+} // namespace
+} // namespace morph

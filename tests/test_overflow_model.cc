@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the writes-to-overflow characterization (Figs 6 / 10).
+ */
+
+#include <gtest/gtest.h>
+
+#include "counters/counter_factory.hh"
+#include "counters/overflow_model.hh"
+#include "counters/split_counter.hh"
+
+namespace morph
+{
+namespace
+{
+
+TEST(OverflowModel, Sc64AnchorPoints)
+{
+    SplitCounterFormat reference(64);
+    // Fig 6: one hot counter -> 2^6 writes; all 64 used -> ~64 * 63.
+    EXPECT_EQ(writesToOverflow(reference, 1), 64u);
+    EXPECT_EQ(writesToOverflow(reference, 64), 64u * 63 + 1);
+}
+
+TEST(OverflowModel, Sc128AnchorPoints)
+{
+    SplitCounterFormat reference(128);
+    // Fig 6: SC-128 tolerates 8x fewer writes than SC-64.
+    EXPECT_EQ(writesToOverflow(reference, 1), 8u);
+    EXPECT_EQ(writesToOverflow(reference, 128), 128u * 7 + 1);
+}
+
+TEST(OverflowModel, MorphZccAnchorPoints)
+{
+    auto fmt = makeCounterFormat(CounterKind::Morph);
+    // Fig 10: with k <= 16 counters used, each gets 16 bits.
+    EXPECT_EQ(writesToOverflow(*fmt, 1), 1ull << 16);
+    EXPECT_EQ(writesToOverflow(*fmt, 16), 16u * 65535 + 1);
+    // k = 64: 4-bit counters.
+    EXPECT_EQ(writesToOverflow(*fmt, 64), 64u * 15 + 1);
+}
+
+TEST(OverflowModel, ZccBeatsSc64WhenSparse)
+{
+    auto morph_fmt = makeCounterFormat(CounterKind::Morph);
+    SplitCounterFormat sc64(64);
+    // The paper's headline: below ~25% usage ZCC tolerates far more
+    // writes than SC-64 despite double the arity.
+    for (unsigned used : {1u, 4u, 8u, 16u, 32u}) {
+        EXPECT_GT(writesToOverflow(*morph_fmt, used),
+                  writesToOverflow(sc64, used))
+            << "used=" << used;
+    }
+}
+
+TEST(OverflowModel, RebasingBeatsZccOnlyWhenDense)
+{
+    auto with = makeCounterFormat(CounterKind::Morph);
+    auto without = makeCounterFormat(CounterKind::MorphZccOnly);
+    EXPECT_GT(writesToOverflow(*with, 128, 1u << 22),
+              4 * writesToOverflow(*without, 128, 1u << 22));
+}
+
+TEST(OverflowModel, UniformMorphExceedsFiveHundred)
+{
+    // §V: "morphable counters can tolerate 500+ writes before an
+    // overflow, when counters are written uniformly".
+    auto fmt = makeCounterFormat(CounterKind::Morph);
+    EXPECT_GT(writesToOverflow(*fmt, 128, 1u << 22), 500u);
+}
+
+TEST(OverflowModel, AdversarialBoundMatchesPaper)
+{
+    auto fmt = makeCounterFormat(CounterKind::Morph);
+    // Priming 52 counters then hammering a 53rd: 52 + 15 + 1 writes.
+    EXPECT_EQ(adversarialWritesToOverflow(*fmt, 52), 68u);
+    // The baseline split counter is even weaker (64-write worst case).
+    SplitCounterFormat sc64(64);
+    EXPECT_LE(adversarialWritesToOverflow(sc64, 1), 65u);
+}
+
+TEST(OverflowModel, CapRespected)
+{
+    auto fmt = makeCounterFormat(CounterKind::Morph);
+    EXPECT_EQ(writesToOverflow(*fmt, 1, 1000), 1000u);
+}
+
+} // namespace
+} // namespace morph

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and the Zipf sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+
+namespace morph
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i)
+        any_diff |= a.next() != b.next();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (const std::uint64_t bound : {1ull, 2ull, 3ull, 63ull, 1000ull,
+                                      (1ull << 40) + 17}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowRoughlyUniform)
+{
+    Rng rng(13);
+    constexpr std::uint64_t buckets = 8;
+    std::uint64_t counts[buckets] = {};
+    constexpr int draws = 80000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.below(buckets)];
+    for (std::uint64_t c : counts) {
+        EXPECT_GT(c, draws / buckets * 85 / 100);
+        EXPECT_LT(c, draws / buckets * 115 / 100);
+    }
+}
+
+TEST(Zipf, RankZeroMostPopular)
+{
+    Rng rng(17);
+    ZipfSampler zipf(100, 1.0);
+    std::map<std::uint64_t, unsigned> counts;
+    for (int i = 0; i < 50000; ++i)
+        ++counts[zipf.sample(rng)];
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[0], counts[50]);
+    EXPECT_GT(counts[1], counts[50]);
+}
+
+TEST(Zipf, SamplesInRange)
+{
+    Rng rng(19);
+    for (const std::uint64_t n : {1ull, 2ull, 100ull, 1ull << 22}) {
+        ZipfSampler zipf(n, 0.9);
+        for (int i = 0; i < 500; ++i)
+            ASSERT_LT(zipf.sample(rng), n);
+    }
+}
+
+TEST(Zipf, LargeDomainUsesApproximation)
+{
+    // Beyond the CDF limit the sampler switches to the continuous
+    // inverse; skew must survive the switch.
+    Rng rng(23);
+    ZipfSampler zipf(1ull << 24, 1.0);
+    std::uint64_t low = 0, high = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t s = zipf.sample(rng);
+        if (s < 100)
+            ++low;
+        if (s >= (1ull << 23))
+            ++high;
+    }
+    EXPECT_GT(low, high);
+    EXPECT_GT(low, 1000u);
+}
+
+TEST(Zipf, ZeroExponentIsUniform)
+{
+    Rng rng(29);
+    ZipfSampler zipf(10, 0.0);
+    std::uint64_t counts[10] = {};
+    for (int i = 0; i < 50000; ++i)
+        ++counts[zipf.sample(rng)];
+    for (std::uint64_t c : counts) {
+        EXPECT_GT(c, 4000u);
+        EXPECT_LT(c, 6000u);
+    }
+}
+
+} // namespace
+} // namespace morph

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Failure-injection and fuzz tests: attacker-supplied counter images,
+ * single-bit corruption sweeps, and decoder well-formedness gating.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitfield.hh"
+#include "common/rng.hh"
+#include "counters/mcr_codec.hh"
+#include "counters/morph_counter.hh"
+#include "counters/zcc_codec.hh"
+#include "integrity/integrity_tree.hh"
+#include "secmem/secure_memory.hh"
+
+namespace morph
+{
+namespace
+{
+
+TEST(ZccWellFormed, AcceptsEveryReachableState)
+{
+    // Any image produced by legitimate increments is well-formed.
+    MorphableCounterFormat fmt(true);
+    CachelineData line;
+    fmt.init(line);
+    Rng rng(101);
+    for (int iter = 0; iter < 30000; ++iter) {
+        fmt.increment(line, unsigned(rng.below(128)));
+        ASSERT_TRUE(fmt.wellFormed(line)) << "iter " << iter;
+        if (zcc::isZcc(line)) {
+            ASSERT_TRUE(zcc::isWellFormed(line));
+        }
+    }
+}
+
+TEST(ZccWellFormed, RejectsForgedCtrSz)
+{
+    CachelineData line;
+    zcc::init(line, 0);
+    ASSERT_TRUE(zcc::insertNonZero(line, 0));
+    ASSERT_TRUE(zcc::isWellFormed(line));
+    // Forge Ctr-Sz to 63: naive decoding would index far outside the
+    // 256-bit payload.
+    writeBits(line, zcc::ctrSzOffset, zcc::ctrSzBits, 63);
+    EXPECT_FALSE(zcc::isWellFormed(line));
+}
+
+TEST(ZccWellFormed, RejectsOverpopulatedBitVector)
+{
+    CachelineData line;
+    zcc::init(line, 0);
+    // Set 100 live bits: ZCC supports at most 64.
+    for (unsigned i = 0; i < 100; ++i)
+        setBit(line, zcc::bvOffset + i, true);
+    writeBits(line, zcc::ctrSzOffset, zcc::ctrSzBits, 4);
+    EXPECT_FALSE(zcc::isWellFormed(line));
+}
+
+TEST(ZccWellFormed, RejectsInconsistentWidth)
+{
+    CachelineData line;
+    zcc::init(line, 0);
+    for (unsigned i = 0; i < 20; ++i)
+        ASSERT_TRUE(zcc::insertNonZero(line, i));
+    ASSERT_EQ(zcc::ctrSz(line), 8u);
+    writeBits(line, zcc::ctrSzOffset, zcc::ctrSzBits, 16);
+    EXPECT_FALSE(zcc::isWellFormed(line));
+}
+
+TEST(ZccWellFormed, McrImagesAlwaysDecodable)
+{
+    // MCR is fixed-layout: every bit pattern decodes within bounds.
+    MorphableCounterFormat fmt(true);
+    Rng rng(103);
+    for (int iter = 0; iter < 1000; ++iter) {
+        CachelineData line;
+        for (auto &b : line)
+            b = std::uint8_t(rng.next());
+        setBit(line, mcr::fOffset, true); // force MCR
+        ASSERT_TRUE(fmt.wellFormed(line));
+        for (unsigned i = 0; i < 128; ++i)
+            ASSERT_LT(mcr::minorValue(line, i), 8u);
+    }
+}
+
+TEST(ZccWellFormed, RandomImagesNeverDecodeOutOfBounds)
+{
+    // Fuzz: random images that pass the well-formedness gate must
+    // decode with every counter slot inside the payload.
+    Rng rng(107);
+    unsigned accepted = 0;
+    for (int iter = 0; iter < 20000; ++iter) {
+        CachelineData line;
+        for (auto &b : line)
+            b = std::uint8_t(rng.next());
+        if (!zcc::isZcc(line) || !zcc::isWellFormed(line))
+            continue;
+        ++accepted;
+        const unsigned live = zcc::count(line);
+        const unsigned width = zcc::ctrSz(line);
+        ASSERT_LE(live * width, zcc::payloadBits);
+        for (unsigned i = 0; i < 128; ++i)
+            (void)zcc::minorValue(line, i); // must stay in bounds
+    }
+    // The gate is selective but not degenerate.
+    EXPECT_GT(accepted, 0u);
+}
+
+TEST(TamperFuzz, EverySingleBitFlipInACounterEntryIsDetected)
+{
+    // Sweep a representative subset of the 512 bit positions of a
+    // live level-0 entry: header, bit-vector, payload, MAC — all must
+    // break verification.
+    SipKey key{};
+    key[3] = 0x77;
+    IntegrityTree tree(16ull << 20, TreeConfig::morph(), key);
+    for (int i = 0; i < 40; ++i)
+        tree.bumpCounter(LineAddr(i % 9));
+    ASSERT_TRUE(tree.verify(0));
+
+    const CachelineData genuine = tree.rawEntry(0, 0);
+    for (unsigned bit = 0; bit < 512; bit += 7) {
+        CachelineData tampered = genuine;
+        setBit(tampered, bit, !testBit(tampered, bit));
+        tree.injectEntry(0, 0, tampered);
+        ASSERT_FALSE(tree.verify(0)) << "undetected flip at bit "
+                                     << bit;
+    }
+    tree.injectEntry(0, 0, genuine);
+    EXPECT_TRUE(tree.verify(0));
+}
+
+TEST(TamperFuzz, RandomEntryCorruptionDetectedAtEveryLevel)
+{
+    SipKey key{};
+    key[9] = 0x3c;
+    IntegrityTree tree(16ull << 20, TreeConfig::sc64(), key);
+    Rng rng(109);
+    tree.bumpCounter(0); // materialize entry 0 at every level
+    for (int i = 0; i < 200; ++i)
+        tree.bumpCounter(rng.below(1000));
+    ASSERT_TRUE(tree.verifyAll());
+
+    for (unsigned level = 0; level < tree.geometry().rootLevel();
+         ++level) {
+        if (tree.materializedEntries(level) == 0)
+            continue;
+        CachelineData tampered = tree.rawEntry(level, 0);
+        const unsigned bit = unsigned(rng.below(512));
+        setBit(tampered, bit, !testBit(tampered, bit));
+        tree.injectEntry(level, 0, tampered);
+        EXPECT_FALSE(tree.verifyAll()) << "level " << level;
+        // Restore for the next level's check.
+        setBit(tampered, bit, !testBit(tampered, bit));
+        tree.injectEntry(level, 0, tampered);
+        ASSERT_TRUE(tree.verifyAll());
+    }
+}
+
+TEST(TamperFuzz, CiphertextCorruptionSweep)
+{
+    SecureMemoryConfig config;
+    config.memBytes = 16ull << 20;
+    config.tree = TreeConfig::morph();
+    config.macKey[0] = 0x11;
+    SecureMemory mem(config);
+
+    CachelineData data{};
+    data[0] = 0xaa;
+    mem.writeLine(5, data);
+    const CachelineData genuine = mem.ciphertextOf(5);
+
+    Rng rng(113);
+    for (int iter = 0; iter < 64; ++iter) {
+        CachelineData tampered = genuine;
+        const unsigned bit = unsigned(rng.below(512));
+        setBit(tampered, bit, !testBit(tampered, bit));
+        mem.tamperCiphertext(5, tampered);
+        ASSERT_FALSE(mem.readLine(5).has_value())
+            << "undetected ciphertext flip at bit " << bit;
+    }
+    mem.tamperCiphertext(5, genuine);
+    EXPECT_TRUE(mem.readLine(5).has_value());
+}
+
+TEST(TamperFuzz, TruncatedMacStillCatchesRandomCorruption)
+{
+    // With 54-bit tags, forgery probability is 2^-54 per attempt; a
+    // small random sweep must never succeed.
+    SecureMemoryConfig config;
+    config.memBytes = 1ull << 20;
+    config.macBits = 54;
+    SecureMemory mem(config);
+    CachelineData data{};
+    mem.writeLine(0, data);
+    const std::uint64_t genuine = mem.macOf(0);
+
+    Rng rng(127);
+    for (int iter = 0; iter < 200; ++iter) {
+        const std::uint64_t forged = rng.next() & ((1ull << 54) - 1);
+        if (forged == genuine)
+            continue;
+        mem.tamperMac(0, forged);
+        ASSERT_FALSE(mem.readLine(0).has_value())
+            << "forged 54-bit tag accepted";
+    }
+    mem.tamperMac(0, genuine);
+    EXPECT_TRUE(mem.readLine(0).has_value());
+}
+
+} // namespace
+} // namespace morph

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the secure-memory controller options: speculative
+ * verification, counter prefetch and type-aware cache insertion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "secmem/secure_memory_model.hh"
+
+namespace morph
+{
+namespace
+{
+
+constexpr std::uint64_t MiB = 1ull << 20;
+
+SecureModelConfig
+baseConfig()
+{
+    SecureModelConfig config;
+    config.memBytes = 256 * MiB;
+    config.metadataCacheBytes = 16 * 1024;
+    return config;
+}
+
+unsigned
+criticalReads(const std::vector<MemAccess> &accesses)
+{
+    return unsigned(std::count_if(
+        accesses.begin(), accesses.end(), [](const MemAccess &a) {
+            return a.critical && a.type == AccessType::Read;
+        }));
+}
+
+TEST(SpeculativeVerification, WalkLeavesCriticalPath)
+{
+    auto spec_config = baseConfig();
+    spec_config.speculativeVerification = true;
+    SecureMemoryModel baseline(baseConfig());
+    SecureMemoryModel speculative(spec_config);
+
+    std::vector<MemAccess> base_out, spec_out;
+    baseline.onDataAccess(0, AccessType::Read, base_out);
+    speculative.onDataAccess(0, AccessType::Read, spec_out);
+
+    // Identical traffic, different criticality: only data + the
+    // counter entry remain critical.
+    EXPECT_EQ(base_out.size(), spec_out.size());
+    EXPECT_GT(criticalReads(base_out), 2u);
+    EXPECT_EQ(criticalReads(spec_out), 2u);
+}
+
+TEST(CounterPrefetch, FetchesNextEntryNonCritical)
+{
+    auto config = baseConfig();
+    config.counterPrefetch = true;
+    SecureMemoryModel model(config);
+
+    std::vector<MemAccess> out;
+    model.onDataAccess(0, AccessType::Read, out);
+    // Both entry 0 and entry 1 were fetched.
+    const std::uint64_t fetched =
+        model.stats().reads[unsigned(Traffic::CtrEncr)];
+    EXPECT_EQ(fetched, 2u);
+
+    // The prefetched entry now hits: accessing its children costs no
+    // further counter fetch.
+    out.clear();
+    model.onDataAccess(64, AccessType::Read, out); // entry 1 (SC-64)
+    EXPECT_EQ(model.stats().reads[unsigned(Traffic::CtrEncr)], 2u);
+}
+
+TEST(CounterPrefetch, StopsAtLevelEnd)
+{
+    auto config = baseConfig();
+    config.counterPrefetch = true;
+    config.memBytes = 128 * lineBytes; // two SC-64 entries
+    SecureMemoryModel model(config);
+    std::vector<MemAccess> out;
+    // Touch the last entry: no out-of-range prefetch is generated.
+    model.onDataAccess(127, AccessType::Read, out);
+    for (const auto &access : out)
+        EXPECT_LT(access.line, model.geometry().totalBytes() / 64);
+}
+
+TEST(DemoteEncCounters, CounterEntriesEvictFirst)
+{
+    // One tiny cache set shared by an enc-counter line and tree
+    // lines: with demotion the enc line is the next victim even
+    // though it was inserted last.
+    auto config = baseConfig();
+    config.demoteEncCounters = true;
+    SecureMemoryModel model(config);
+
+    std::vector<MemAccess> out;
+    // Touch a data line: inserts its counter entry (demoted) and the
+    // tree path (normal).
+    model.onDataAccess(0, AccessType::Read, out);
+
+    const auto occupancy_before =
+        model.metadataCache().levelOccupancy();
+    EXPECT_GT(occupancy_before[0], 0u);
+
+    // Flood with distant counter entries to force conflicts; tree
+    // levels should retain relatively better residency than without
+    // demotion.
+    auto baseline_config = baseConfig();
+    SecureMemoryModel baseline(baseline_config);
+    std::vector<MemAccess> scratch;
+    for (LineAddr line = 0; line < 4096 * 64; line += 64) {
+        scratch.clear();
+        model.onDataAccess(line, AccessType::Read, scratch);
+        scratch.clear();
+        baseline.onDataAccess(line, AccessType::Read, scratch);
+    }
+    const auto demoted = model.metadataCache().levelOccupancy();
+    const auto normal = baseline.metadataCache().levelOccupancy();
+    // Tree entries (levels >= 1) hold at least as much of the demoted
+    // cache as of the normal one.
+    std::uint64_t demoted_tree = 0, normal_tree = 0;
+    for (std::size_t level = 1; level < demoted.size(); ++level) {
+        demoted_tree += demoted[level];
+        normal_tree += normal[level];
+    }
+    EXPECT_GE(demoted_tree, normal_tree);
+}
+
+TEST(DemoteEncCounters, TrafficUnchangedOnColdPath)
+{
+    // Demotion changes replacement, not the access protocol.
+    auto config = baseConfig();
+    config.demoteEncCounters = true;
+    SecureMemoryModel demoted(config);
+    SecureMemoryModel baseline(baseConfig());
+    std::vector<MemAccess> a, b;
+    demoted.onDataAccess(0, AccessType::Read, a);
+    baseline.onDataAccess(0, AccessType::Read, b);
+    EXPECT_EQ(a.size(), b.size());
+}
+
+} // namespace
+} // namespace morph

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the cycle-model secure memory controller: tree-walk
+ * traffic, metadata caching, write propagation, overflow traffic and
+ * MAC organizations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "secmem/secure_memory_model.hh"
+
+namespace morph
+{
+namespace
+{
+
+constexpr std::uint64_t MiB = 1ull << 20;
+constexpr std::uint64_t GiB = 1ull << 30;
+
+SecureModelConfig
+smallConfig(TreeConfig tree = TreeConfig::sc64())
+{
+    SecureModelConfig config;
+    config.memBytes = 256 * MiB;
+    config.tree = std::move(tree);
+    config.metadataCacheBytes = 16 * 1024;
+    config.metadataCacheWays = 8;
+    return config;
+}
+
+unsigned
+countCategory(const std::vector<MemAccess> &accesses, Traffic category)
+{
+    return unsigned(std::count_if(
+        accesses.begin(), accesses.end(),
+        [&](const MemAccess &a) { return a.category == category; }));
+}
+
+TEST(SecureModel, NonSecureGeneratesOnlyData)
+{
+    auto config = smallConfig();
+    config.secure = false;
+    SecureMemoryModel model(config);
+    std::vector<MemAccess> out;
+    model.onDataAccess(0, AccessType::Read, out);
+    model.onDataAccess(1, AccessType::Write, out);
+    EXPECT_EQ(out.size(), 2u);
+    EXPECT_EQ(countCategory(out, Traffic::Data), 2u);
+    EXPECT_DOUBLE_EQ(model.stats().bloat(), 1.0);
+}
+
+TEST(SecureModel, ColdReadWalksToRoot)
+{
+    SecureMemoryModel model(smallConfig());
+    std::vector<MemAccess> out;
+    model.onDataAccess(0, AccessType::Read, out);
+
+    // 256 MB SC-64: enc counters + 3 tree levels with the root line
+    // on-chip. A cold read fetches the counter and walks until a
+    // cached level; with an empty cache that is every level below the
+    // root.
+    EXPECT_EQ(countCategory(out, Traffic::Data), 1u);
+    EXPECT_EQ(countCategory(out, Traffic::CtrEncr), 1u);
+    EXPECT_EQ(countCategory(out, Traffic::Ctr1), 1u);
+    // All metadata reads on a demand read are critical.
+    for (const auto &access : out)
+        EXPECT_TRUE(access.critical);
+}
+
+TEST(SecureModel, WarmReadHitsMetadataCache)
+{
+    SecureMemoryModel model(smallConfig());
+    std::vector<MemAccess> out;
+    model.onDataAccess(0, AccessType::Read, out);
+    out.clear();
+    model.onDataAccess(1, AccessType::Read, out); // same counter entry
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].category, Traffic::Data);
+}
+
+TEST(SecureModel, SpatialReuseAcrossArity)
+{
+    // Lines 0..63 share one SC-64 counter entry: one metadata fetch
+    // serves all 64.
+    SecureMemoryModel model(smallConfig());
+    std::vector<MemAccess> out;
+    for (LineAddr line = 0; line < 64; ++line)
+        model.onDataAccess(line, AccessType::Read, out);
+    EXPECT_EQ(model.stats().accesses(Traffic::CtrEncr), 1u);
+}
+
+TEST(SecureModel, WritesMarkCounterDirtyAndPropagateOnEviction)
+{
+    auto config = smallConfig();
+    config.metadataCacheBytes = 1024; // 2 sets x 8 ways: tiny
+    SecureMemoryModel model(config);
+    std::vector<MemAccess> out;
+
+    // Write, then thrash the metadata cache with distant reads until
+    // the dirty counter entry is evicted; the write-back must appear
+    // and the parent counter must be incremented.
+    model.onDataAccess(0, AccessType::Write, out);
+    const std::uint64_t wb_before =
+        model.stats().writes[unsigned(Traffic::CtrEncr)];
+    EXPECT_EQ(wb_before, 0u);
+
+    for (LineAddr line = 0; line < 4096 * 64; line += 64)
+        model.onDataAccess(line, AccessType::Read, out);
+    EXPECT_GT(model.stats().writes[unsigned(Traffic::CtrEncr)], 0u)
+        << "dirty counter entry never written back";
+}
+
+TEST(SecureModel, CounterIncrementsOnWrite)
+{
+    SecureMemoryModel model(smallConfig());
+    std::vector<MemAccess> out;
+    EXPECT_EQ(model.counterOf(7), 0u);
+    model.onDataAccess(7, AccessType::Write, out);
+    EXPECT_EQ(model.counterOf(7), 1u);
+    model.onDataAccess(7, AccessType::Write, out);
+    EXPECT_EQ(model.counterOf(7), 2u);
+    EXPECT_EQ(model.counterOf(8), 0u);
+}
+
+TEST(SecureModel, OverflowEmitsReencryptionTraffic)
+{
+    SecureMemoryModel model(smallConfig(TreeConfig::sc128()));
+    std::vector<MemAccess> out;
+    // SC-128: 3-bit minors overflow on the 8th write to one line.
+    for (int w = 0; w < 7; ++w)
+        model.onDataAccess(3, AccessType::Write, out);
+    EXPECT_EQ(model.stats().accesses(Traffic::Overflow), 0u);
+
+    out.clear();
+    model.onDataAccess(3, AccessType::Write, out);
+    // 128 children re-encrypted: 128 reads + 128 writes.
+    EXPECT_EQ(countCategory(out, Traffic::Overflow), 256u);
+    EXPECT_EQ(model.stats().overflowsByLevel[0], 1u);
+    EXPECT_DOUBLE_EQ(model.stats().usageAtOverflow.mean(),
+                     1.0 / 128.0);
+}
+
+TEST(SecureModel, OverflowTrafficClampedAtMemoryEnd)
+{
+    auto config = smallConfig(TreeConfig::sc128());
+    config.memBytes = 100 * lineBytes; // 100 data lines, one entry
+    SecureMemoryModel model(config);
+    std::vector<MemAccess> out;
+    for (int w = 0; w < 8; ++w)
+        model.onDataAccess(0, AccessType::Write, out);
+    // Only 100 children exist.
+    EXPECT_EQ(model.stats().accesses(Traffic::Overflow), 200u);
+}
+
+TEST(SecureModel, SeparateMacsAddTraffic)
+{
+    auto inline_config = smallConfig();
+    auto separate_config = smallConfig();
+    separate_config.inlineMacs = false;
+
+    SecureMemoryModel inline_model(inline_config);
+    SecureMemoryModel separate_model(separate_config);
+    std::vector<MemAccess> out;
+    for (LineAddr line = 0; line < 1000; ++line) {
+        out.clear();
+        inline_model.onDataAccess(line * 977 % 100000,
+                                  AccessType::Read, out);
+        out.clear();
+        separate_model.onDataAccess(line * 977 % 100000,
+                                    AccessType::Read, out);
+    }
+    EXPECT_EQ(inline_model.stats().accesses(Traffic::Mac), 0u);
+    EXPECT_GT(separate_model.stats().accesses(Traffic::Mac), 0u);
+    EXPECT_GT(separate_model.stats().bloat(),
+              inline_model.stats().bloat());
+}
+
+TEST(SecureModel, MacLinesCoverEightDataLines)
+{
+    auto config = smallConfig();
+    config.inlineMacs = false;
+    SecureMemoryModel model(config);
+    std::vector<MemAccess> out;
+    // Lines 0..7 share one MAC line: exactly one MAC fetch.
+    for (LineAddr line = 0; line < 8; ++line)
+        model.onDataAccess(line, AccessType::Read, out);
+    EXPECT_EQ(model.stats().accesses(Traffic::Mac), 1u);
+}
+
+TEST(SecureModel, TrafficCategoriesByLevel)
+{
+    EXPECT_EQ(trafficForLevel(0), Traffic::CtrEncr);
+    EXPECT_EQ(trafficForLevel(1), Traffic::Ctr1);
+    EXPECT_EQ(trafficForLevel(2), Traffic::Ctr2);
+    EXPECT_EQ(trafficForLevel(3), Traffic::Ctr3Up);
+    EXPECT_EQ(trafficForLevel(7), Traffic::Ctr3Up);
+}
+
+TEST(SecureModel, CompactTreeGeneratesLessTrafficThanVault)
+{
+    // The paper's central claim at the traffic level, on a random
+    // access pattern over a large footprint.
+    auto vault_config = smallConfig(TreeConfig::vault());
+    auto morph_config = smallConfig(TreeConfig::morph());
+    vault_config.memBytes = morph_config.memBytes = 4 * GiB;
+    vault_config.metadataCacheBytes =
+        morph_config.metadataCacheBytes = 128 * 1024;
+
+    SecureMemoryModel vault(vault_config);
+    SecureMemoryModel morph(morph_config);
+    std::vector<MemAccess> out;
+    std::uint64_t x = 12345;
+    for (int i = 0; i < 20000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const LineAddr line = (x >> 20) % (4 * GiB / lineBytes);
+        out.clear();
+        vault.onDataAccess(line, AccessType::Read, out);
+        out.clear();
+        morph.onDataAccess(line, AccessType::Read, out);
+    }
+    EXPECT_LT(morph.stats().bloat(), vault.stats().bloat());
+}
+
+TEST(SecureModel, StatsResetPreservesCounterState)
+{
+    SecureMemoryModel model(smallConfig());
+    std::vector<MemAccess> out;
+    model.onDataAccess(5, AccessType::Write, out);
+    model.resetStats();
+    EXPECT_EQ(model.stats().total(), 0u);
+    EXPECT_EQ(model.counterOf(5), 1u) << "reset must not clear counters";
+}
+
+TEST(SecureModel, MetadataOccupancyTracksLevels)
+{
+    SecureMemoryModel model(smallConfig());
+    std::vector<MemAccess> out;
+    for (LineAddr line = 0; line < 64 * 100; line += 64)
+        model.onDataAccess(line, AccessType::Read, out);
+    const auto occupancy = model.metadataCache().levelOccupancy();
+    EXPECT_GT(occupancy[0], 0u); // encryption counter entries resident
+    EXPECT_GT(occupancy[1], 0u); // level-1 entries resident
+}
+
+} // namespace
+} // namespace morph

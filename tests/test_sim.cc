@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Integration tests: cores + secure memory + DRAM, end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+namespace morph
+{
+namespace
+{
+
+SimOptions
+quickOptions()
+{
+    SimOptions options;
+    options.accessesPerCore = 8000;
+    options.warmupPerCore = 2000;
+    options.timing = true;
+    return options;
+}
+
+SecureModelConfig
+configFor(TreeConfig tree)
+{
+    SecureModelConfig config;
+    config.tree = std::move(tree);
+    return config;
+}
+
+TEST(CoreModel, GapsAdvanceClock)
+{
+    struct FixedTrace : TraceSource
+    {
+        TraceEntry
+        next() override
+        {
+            return {40, AccessType::Write, 0};
+        }
+    } trace;
+    Core core(0, trace, CoreConfig{});
+    const TraceEntry entry = core.beginEntry();
+    EXPECT_EQ(core.clock(), 10u); // 40 instructions at 4-wide
+    EXPECT_EQ(core.instructions(), 41u);
+    core.completeEntry(entry, 0);
+    EXPECT_EQ(core.accesses(), 1u);
+}
+
+TEST(CoreModel, RobLimitsRunahead)
+{
+    struct ReadTrace : TraceSource
+    {
+        TraceEntry
+        next() override
+        {
+            return {0, AccessType::Read, 0};
+        }
+    } trace;
+    Core core(0, trace, CoreConfig{.robSize = 4, .retireWidth = 4});
+    // Issue reads completing at cycle 1000; with a 4-entry window the
+    // 5th read must wait for the 1st.
+    for (int i = 0; i < 4; ++i) {
+        const TraceEntry entry = core.beginEntry();
+        core.completeEntry(entry, 1000);
+    }
+    EXPECT_LT(core.clock(), 1000u);
+    core.beginEntry();
+    EXPECT_GE(core.clock(), 1000u);
+}
+
+TEST(CoreModel, WritesNeverBlock)
+{
+    struct WriteTrace : TraceSource
+    {
+        TraceEntry
+        next() override
+        {
+            return {0, AccessType::Write, 0};
+        }
+    } trace;
+    Core core(0, trace, CoreConfig{.robSize = 4, .retireWidth = 4});
+    for (int i = 0; i < 100; ++i) {
+        const TraceEntry entry = core.beginEntry();
+        core.completeEntry(entry, 1u << 30);
+    }
+    EXPECT_LT(core.clock(), 100u);
+}
+
+TEST(CoreModel, DrainWaitsForOutstanding)
+{
+    struct ReadTrace : TraceSource
+    {
+        TraceEntry
+        next() override
+        {
+            return {0, AccessType::Read, 0};
+        }
+    } trace;
+    Core core(0, trace, CoreConfig{});
+    const TraceEntry entry = core.beginEntry();
+    core.completeEntry(entry, 777);
+    core.drain();
+    EXPECT_GE(core.clock(), 777u);
+}
+
+TEST(Simulation, DeterministicAcrossRuns)
+{
+    const auto options = quickOptions();
+    const auto config = configFor(TreeConfig::sc64());
+    const SimResult a = runByName("omnetpp", config, options);
+    const SimResult b = runByName("omnetpp", config, options);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.traffic.total(), b.traffic.total());
+}
+
+TEST(Simulation, NonSecureIsFasterThanSecure)
+{
+    const auto options = quickOptions();
+    auto secure = configFor(TreeConfig::sc64());
+    auto nonsecure = secure;
+    nonsecure.secure = false;
+    const SimResult s = runByName("mcf", secure, options);
+    const SimResult n = runByName("mcf", nonsecure, options);
+    EXPECT_GT(n.ipc, s.ipc);
+    EXPECT_DOUBLE_EQ(n.bloat(), 1.0);
+    EXPECT_GT(s.bloat(), 1.0);
+}
+
+TEST(Simulation, CompactTreeWinsOnRandomAccess)
+{
+    // The headline ordering (Fig 15) on a random-access workload:
+    // MorphCtr-128 > SC-64 > VAULT.
+    const auto options = quickOptions();
+    const SimResult vault =
+        runByName("mcf", configFor(TreeConfig::vault()), options);
+    const SimResult sc64 =
+        runByName("mcf", configFor(TreeConfig::sc64()), options);
+    const SimResult morph =
+        runByName("mcf", configFor(TreeConfig::morph()), options);
+    EXPECT_GT(sc64.ipc, vault.ipc);
+    EXPECT_GT(morph.ipc, sc64.ipc);
+    EXPECT_LT(morph.bloat(), sc64.bloat());
+    EXPECT_LT(sc64.bloat(), vault.bloat());
+}
+
+TEST(Simulation, StreamingWorkloadsSeeSmallGaps)
+{
+    // Fig 15: libquantum-style workloads perform "as good as the
+    // baseline" — metadata reuse hides the tree.
+    const auto options = quickOptions();
+    const SimResult sc64 =
+        runByName("libquantum", configFor(TreeConfig::sc64()), options);
+    const SimResult morph =
+        runByName("libquantum", configFor(TreeConfig::morph()),
+                  options);
+    EXPECT_NEAR(morph.ipc / sc64.ipc, 1.0, 0.05);
+}
+
+TEST(Simulation, MixesRun)
+{
+    const auto options = quickOptions();
+    const SimResult result =
+        runByName("mix1", configFor(TreeConfig::morph()), options);
+    EXPECT_GT(result.ipc, 0.0);
+    EXPECT_GT(result.traffic.accesses(Traffic::Data), 0u);
+}
+
+TEST(Simulation, TrafficOnlyModeSkipsDram)
+{
+    auto options = quickOptions();
+    options.timing = false;
+    const SimResult result =
+        runByName("gcc", configFor(TreeConfig::sc64()), options);
+    EXPECT_EQ(result.dram.reads + result.dram.writes, 0u);
+    EXPECT_GT(result.traffic.total(), 0u);
+}
+
+TEST(Simulation, EnergyReportConsistent)
+{
+    const auto options = quickOptions();
+    const SimResult result =
+        runByName("milc", configFor(TreeConfig::sc64()), options);
+    EXPECT_GT(result.energy.seconds, 0.0);
+    EXPECT_GT(result.energy.dramJ, 0.0);
+    EXPECT_GT(result.energy.systemJ, result.energy.dramJ);
+    EXPECT_NEAR(result.energy.edp,
+                result.energy.systemJ * result.energy.seconds,
+                result.energy.edp * 1e-9);
+    EXPECT_NEAR(result.energy.systemPowerW,
+                result.energy.systemJ / result.energy.seconds, 1e-9);
+}
+
+TEST(Simulation, MeasurementExcludesWarmup)
+{
+    auto options = quickOptions();
+    const auto config = configFor(TreeConfig::sc64());
+    const SimResult measured = runByName("milc", config, options);
+
+    auto no_warmup = options;
+    no_warmup.warmupPerCore = 0;
+    const SimResult cold = runByName("milc", config, no_warmup);
+    // Both measure the same number of accesses.
+    EXPECT_EQ(measured.traffic.accesses(Traffic::Data),
+              cold.traffic.accesses(Traffic::Data));
+}
+
+TEST(Simulation, EvaluationListMatchesPaperLayout)
+{
+    const auto names = evaluationWorkloads();
+    ASSERT_EQ(names.size(), 28u);
+    EXPECT_EQ(names.front(), "mcf");
+    EXPECT_EQ(names[16], "mix1");
+    EXPECT_EQ(names.back(), "cc-web");
+}
+
+TEST(Simulation, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({1.0, 1.0, 8.0}), 2.0, 1e-12);
+}
+
+TEST(Simulation, SimOptionsFromEnv)
+{
+    setenv("MORPH_SIM_ACCESSES", "1234", 1);
+    setenv("MORPH_SIM_WARMUP", "99", 1);
+    const SimOptions options = SimOptions::fromEnv();
+    EXPECT_EQ(options.accessesPerCore, 1234u);
+    EXPECT_EQ(options.warmupPerCore, 99u);
+    unsetenv("MORPH_SIM_ACCESSES");
+    unsetenv("MORPH_SIM_WARMUP");
+}
+
+} // namespace
+} // namespace morph

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit and property tests for generalized split counters (SC-n).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "counters/split_counter.hh"
+
+namespace morph
+{
+namespace
+{
+
+TEST(SplitCounter, LayoutWidths)
+{
+    EXPECT_EQ(SplitCounterFormat(8).minorBits(), 48u);
+    EXPECT_EQ(SplitCounterFormat(16).minorBits(), 24u);
+    EXPECT_EQ(SplitCounterFormat(32).minorBits(), 12u);
+    EXPECT_EQ(SplitCounterFormat(64).minorBits(), 6u);
+    EXPECT_EQ(SplitCounterFormat(128).minorBits(), 3u);
+}
+
+TEST(SplitCounter, InitializesToZero)
+{
+    SplitCounterFormat sc(64);
+    CachelineData line;
+    sc.init(line);
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(sc.read(line, i), 0u);
+    EXPECT_EQ(sc.nonZeroCount(line), 0u);
+}
+
+TEST(SplitCounter, IncrementIsolatedToChild)
+{
+    SplitCounterFormat sc(64);
+    CachelineData line;
+    sc.init(line);
+    const WriteResult res = sc.increment(line, 10);
+    EXPECT_FALSE(res.overflow);
+    EXPECT_EQ(sc.read(line, 10), 1u);
+    for (unsigned i = 0; i < 64; ++i) {
+        if (i != 10) {
+            EXPECT_EQ(sc.read(line, i), 0u);
+        }
+    }
+}
+
+TEST(SplitCounter, OverflowResetsAllMinors)
+{
+    SplitCounterFormat sc(64);
+    CachelineData line;
+    sc.init(line);
+    sc.increment(line, 3); // a bystander with value 1
+
+    // Saturate child 0: 63 increments reach the 6-bit max.
+    for (int i = 0; i < 63; ++i)
+        EXPECT_FALSE(sc.increment(line, 0).overflow);
+    EXPECT_EQ(sc.read(line, 0), 63u);
+
+    const WriteResult res = sc.increment(line, 0);
+    EXPECT_TRUE(res.overflow);
+    EXPECT_EQ(res.reencBegin, 0u);
+    EXPECT_EQ(res.reencEnd, 64u);
+    EXPECT_EQ(res.usedBefore, 2u);
+
+    // Major advanced; all minors (including the bystander) reset.
+    EXPECT_EQ(sc.major(line), 1u);
+    EXPECT_EQ(sc.read(line, 0), 1u << 6);
+    EXPECT_EQ(sc.read(line, 3), 1u << 6);
+}
+
+TEST(SplitCounter, MacFieldIndependentOfCounters)
+{
+    SplitCounterFormat sc(64);
+    CachelineData line;
+    sc.init(line);
+    CounterFormat::setMac(line, 0xdeadbeefcafef00dull);
+    for (int i = 0; i < 100; ++i)
+        sc.increment(line, unsigned(i) % 64);
+    EXPECT_EQ(CounterFormat::mac(line), 0xdeadbeefcafef00dull);
+}
+
+TEST(SplitCounterDeath, RejectsBadArity)
+{
+    EXPECT_EXIT(SplitCounterFormat(7), ::testing::ExitedWithCode(1),
+                "arity");
+    EXPECT_EXIT(SplitCounterFormat(0), ::testing::ExitedWithCode(1),
+                "arity");
+}
+
+/** Property tests across every supported arity. */
+class SplitCounterArity : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SplitCounterArity, WorstCaseWritesToOverflow)
+{
+    // A single hot child overflows after exactly 2^minor_bits writes
+    // (Fig 6 of the paper: 64 writes for SC-64, 8 for SC-128).
+    SplitCounterFormat sc(GetParam());
+    if (sc.minorBits() > 16)
+        GTEST_SKIP() << "period 2^" << sc.minorBits()
+                     << " is impractical to iterate";
+    CachelineData line;
+    sc.init(line);
+    const std::uint64_t period = 1ull << sc.minorBits();
+    for (std::uint64_t w = 1; w < period; ++w)
+        ASSERT_FALSE(sc.increment(line, 0).overflow);
+    EXPECT_TRUE(sc.increment(line, 0).overflow);
+}
+
+TEST_P(SplitCounterArity, EffectiveValuesStrictlyMonotonic)
+{
+    SplitCounterFormat sc(GetParam());
+    const unsigned arity = sc.arity();
+    CachelineData line;
+    sc.init(line);
+
+    std::vector<std::uint64_t> shadow(arity, 0);
+    Rng rng(GetParam() * 7919 + 1);
+    for (int iter = 0; iter < 20000; ++iter) {
+        const unsigned idx = unsigned(rng.below(arity));
+        const WriteResult res = sc.increment(line, idx);
+        const std::uint64_t value = sc.read(line, idx);
+        ASSERT_GT(value, shadow[idx]) << "counter reuse at " << idx;
+        shadow[idx] = value;
+        if (res.overflow) {
+            // Every child moved forward; refresh the whole shadow.
+            for (unsigned i = 0; i < arity; ++i) {
+                const std::uint64_t v = sc.read(line, i);
+                ASSERT_GE(v, shadow[i]);
+                shadow[i] = v;
+            }
+        } else {
+            // No other child may change silently.
+            for (unsigned i = 0; i < arity; ++i) {
+                if (i != idx) {
+                    ASSERT_EQ(sc.read(line, i), shadow[i]);
+                }
+            }
+        }
+    }
+}
+
+TEST_P(SplitCounterArity, NonZeroCountTracksDistinctChildren)
+{
+    SplitCounterFormat sc(GetParam());
+    const unsigned arity = sc.arity();
+    CachelineData line;
+    sc.init(line);
+    const unsigned touched = std::min(arity, 5u);
+    for (unsigned i = 0; i < touched; ++i)
+        sc.increment(line, i);
+    EXPECT_EQ(sc.nonZeroCount(line), touched);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArities, SplitCounterArity,
+                         ::testing::Values(8u, 16u, 32u, 64u, 128u));
+
+} // namespace
+} // namespace morph

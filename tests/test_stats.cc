@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for histograms and stat sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace morph
+{
+namespace
+{
+
+TEST(Histogram, BucketsSamplesCorrectly)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.record(0.1);
+    h.record(0.3);
+    h.record(0.3);
+    h.record(0.9);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(Histogram, FractionsSumToOne)
+{
+    Histogram h(0.0, 1.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.record(double(i % 10) / 10.0 + 0.05);
+    double sum = 0;
+    for (unsigned i = 0; i < h.size(); ++i)
+        sum += h.fraction(i);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, OutOfRangeClamps)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.record(-5.0);
+    h.record(7.0);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h(0.0, 10.0, 2);
+    h.record(1.0, 9);
+    h.record(9.0, 1);
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_EQ(h.bucket(0), 9u);
+    EXPECT_NEAR(h.mean(), 1.8, 1e-12);
+}
+
+TEST(Histogram, BucketEdges)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_DOUBLE_EQ(h.bucketLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bucketLo(2), 0.5);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.record(0.5);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(StatSet, SetGetAndOverwrite)
+{
+    StatSet stats("unit");
+    stats.set("a", 1.0);
+    stats.set("b", 2.0);
+    stats.set("a", 3.0);
+    EXPECT_DOUBLE_EQ(stats.get("a"), 3.0);
+    EXPECT_DOUBLE_EQ(stats.get("b"), 2.0);
+    EXPECT_DOUBLE_EQ(stats.get("missing"), 0.0);
+    EXPECT_TRUE(stats.has("a"));
+    EXPECT_FALSE(stats.has("missing"));
+}
+
+TEST(StatSet, DumpFormat)
+{
+    StatSet stats("sys");
+    stats.set("ipc", 1.5);
+    std::ostringstream os;
+    stats.dump(os);
+    EXPECT_EQ(os.str(), "sys.ipc 1.5\n");
+}
+
+} // namespace
+} // namespace morph

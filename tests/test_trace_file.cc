@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for trace file parsing, writing, and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workloads/trace_file.hh"
+#include "workloads/workload_db.hh"
+
+namespace morph
+{
+namespace
+{
+
+TEST(TraceFile, ParsesBasicFormat)
+{
+    std::istringstream input("10 R 1a\n"
+                             "0 W ff\n"
+                             "3 R 100\n");
+    FileTraceSource trace(input, "inline");
+    ASSERT_EQ(trace.size(), 3u);
+
+    TraceEntry entry = trace.next();
+    EXPECT_EQ(entry.gap, 10u);
+    EXPECT_EQ(int(entry.type), int(AccessType::Read));
+    EXPECT_EQ(entry.line, 0x1au);
+
+    entry = trace.next();
+    EXPECT_EQ(entry.gap, 0u);
+    EXPECT_EQ(int(entry.type), int(AccessType::Write));
+    EXPECT_EQ(entry.line, 0xffu);
+}
+
+TEST(TraceFile, SkipsCommentsAndBlankLines)
+{
+    std::istringstream input("# a trace\n"
+                             "\n"
+                             "5 R 10  # trailing comment\n"
+                             "   \n"
+                             "7 W 20\n");
+    FileTraceSource trace(input, "inline");
+    EXPECT_EQ(trace.size(), 2u);
+}
+
+TEST(TraceFile, ReplaysCyclically)
+{
+    std::istringstream input("1 R 1\n2 W 2\n");
+    FileTraceSource trace(input, "inline");
+    EXPECT_EQ(trace.next().line, 1u);
+    EXPECT_EQ(trace.next().line, 2u);
+    EXPECT_EQ(trace.next().line, 1u); // wrapped
+}
+
+TEST(TraceFileDeath, RejectsBadType)
+{
+    std::istringstream input("1 X 1\n");
+    EXPECT_EXIT(FileTraceSource(input, "bad"),
+                ::testing::ExitedWithCode(1), "expected");
+}
+
+TEST(TraceFileDeath, RejectsBadAddress)
+{
+    std::istringstream input("1 R zz!\n");
+    EXPECT_EXIT(FileTraceSource(input, "bad"),
+                ::testing::ExitedWithCode(1), "bad line address");
+}
+
+TEST(TraceFileDeath, RejectsEmpty)
+{
+    std::istringstream input("# only comments\n");
+    EXPECT_EXIT(FileTraceSource(input, "empty"),
+                ::testing::ExitedWithCode(1), "no events");
+}
+
+TEST(TraceFileDeath, RejectsMissingFile)
+{
+    EXPECT_EXIT(FileTraceSource("/nonexistent/trace.trc"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceFile, RoundTripsThroughWriter)
+{
+    // Snapshot a synthetic generator, serialize, reload: identical.
+    const WorkloadSpec *spec = findWorkload("libquantum");
+    ASSERT_NE(spec, nullptr);
+    auto generator = makeWorkloadTrace(*spec, 0, 4, 1ull << 30, 5);
+    const auto captured = captureTrace(*generator, 500);
+
+    std::stringstream buffer;
+    writeTrace(buffer, captured);
+    FileTraceSource reloaded(buffer, "roundtrip");
+    ASSERT_EQ(reloaded.size(), captured.size());
+    for (const TraceEntry &expected : captured) {
+        const TraceEntry actual = reloaded.next();
+        ASSERT_EQ(actual.gap, expected.gap);
+        ASSERT_EQ(int(actual.type), int(expected.type));
+        ASSERT_EQ(actual.line, expected.line);
+    }
+}
+
+} // namespace
+} // namespace morph

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * morphsim — command-line secure-memory simulator.
+ *
+ * Runs any named workload (or mix, or user trace file) against any
+ * counter/tree configuration and prints the full statistics report:
+ * IPC, traffic by category, overflow/rebase counts, metadata-cache
+ * behaviour, DRAM activity and energy.
+ *
+ * Examples:
+ *   morphsim --workload mcf --config morph
+ *   morphsim --workload mix2 --config vault --cache-kb 64 --timing 0
+ *   morphsim --trace my.trc --config sc64 --accesses 500000
+ *   morphsim --list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "common/ini.hh"
+#include "common/log.hh"
+#include "sim/simulator.hh"
+#include "workloads/trace_file.hh"
+
+namespace
+{
+
+using namespace morph;
+
+void
+usage()
+{
+    std::printf(
+        "usage: morphsim [options]\n"
+        "  --workload NAME     Table-II workload or mix (see --list)\n"
+        "  --config-file FILE  read options from an INI file\n"
+        "  --trace FILE        replay a trace file on every core\n"
+        "  --config NAME       sc64 | vault | morph | morph-zcc |\n"
+        "                      sc128 | sgx | bmt  (default: morph)\n"
+        "  --mem-gb N          protected capacity (default 16)\n"
+        "  --cache-kb N        metadata cache size (default 128)\n"
+        "  --accesses N        measured accesses per core\n"
+        "  --warmup N          warm-up accesses per core\n"
+        "  --scale F           footprint divisor (default 1)\n"
+        "  --seed N            trace RNG seed\n"
+        "  --timing 0|1        cycle timing on/off (default 1)\n"
+        "  --separate-macs     model separate MAC storage\n"
+        "  --spec-verify       speculative verification\n"
+        "  --ctr-prefetch      next-entry counter prefetch\n"
+        "  --demote-enc        type-aware cache insertion\n"
+        "  --occupancy         report per-level cache occupancy\n"
+        "  --list              list workloads and exit\n");
+}
+
+TreeConfig
+configByName(const std::string &name)
+{
+    if (name == "sc64")
+        return TreeConfig::sc64();
+    if (name == "vault")
+        return TreeConfig::vault();
+    if (name == "morph")
+        return TreeConfig::morph();
+    if (name == "morph-zcc")
+        return TreeConfig::morphZccOnly();
+    if (name == "sc128")
+        return TreeConfig::sc128();
+    if (name == "sgx")
+        return TreeConfig::sgx();
+    if (name == "bmt")
+        return TreeConfig::bonsaiMacTree();
+    fatal("unknown config '%s'", name.c_str());
+}
+
+void
+listWorkloads()
+{
+    std::printf("%-12s %-6s %8s %8s %10s  %s\n", "name", "suite",
+                "rdPKI", "wrPKI", "footprint", "pattern");
+    for (const auto &spec : workloadTable()) {
+        const char *pattern =
+            spec.pattern == Pattern::Streaming  ? "streaming"
+            : spec.pattern == Pattern::Random   ? "random"
+            : spec.pattern == Pattern::HotCold  ? "hot-cold"
+                                                : "mixed";
+        std::printf("%-12s %-6s %8.1f %8.1f %7.1f GB  %s\n",
+                    spec.name.c_str(), spec.suite.c_str(), spec.readPki,
+                    spec.writePki, spec.footprintGb, pattern);
+    }
+    for (const auto &mix : mixTable()) {
+        std::printf("%-12s %-6s  {%s, %s, %s, %s}\n", mix.name.c_str(),
+                    "MIX", mix.parts[0].c_str(), mix.parts[1].c_str(),
+                    mix.parts[2].c_str(), mix.parts[3].c_str());
+    }
+}
+
+} // namespace
+
+namespace
+{
+
+/** Apply an INI config file onto the option structs. */
+void
+applyConfigFile(const std::string &path, std::string &workload,
+                std::string &trace_path, std::string &config_name,
+                morph::SecureModelConfig &secmem,
+                morph::SimOptions &options)
+{
+    using morph::IniFile;
+    const IniFile ini = IniFile::fromFile(path);
+
+    static const char *known[] = {
+        "system.workload", "system.trace", "system.config",
+        "system.mem_gb", "system.cache_kb", "system.accesses",
+        "system.warmup", "system.scale", "system.seed",
+        "system.timing", "controller.separate_macs",
+        "controller.spec_verify", "controller.ctr_prefetch",
+        "controller.demote_enc", "dram.refresh",
+        "dram.write_queueing", "dram.channels", "dram.ranks",
+    };
+    for (const std::string &key : ini.keys()) {
+        bool ok = false;
+        for (const char *candidate : known)
+            ok = ok || key == candidate;
+        if (!ok)
+            morph::fatal("config %s: unknown key '%s'", path.c_str(),
+                         key.c_str());
+    }
+
+    workload = ini.getString("system.workload", workload);
+    trace_path = ini.getString("system.trace", trace_path);
+    config_name = ini.getString("system.config", config_name);
+    secmem.memBytes = std::uint64_t(
+        ini.getDouble("system.mem_gb",
+                      double(secmem.memBytes) / double(1ull << 30)) *
+        double(1ull << 30));
+    secmem.metadataCacheBytes = std::size_t(
+        ini.getInt("system.cache_kb",
+                   std::int64_t(secmem.metadataCacheBytes / 1024)) *
+        1024);
+    options.accessesPerCore = std::uint64_t(ini.getInt(
+        "system.accesses", std::int64_t(options.accessesPerCore)));
+    options.warmupPerCore = std::uint64_t(ini.getInt(
+        "system.warmup", std::int64_t(options.warmupPerCore)));
+    options.footprintScale =
+        ini.getDouble("system.scale", options.footprintScale);
+    options.seed = std::uint64_t(
+        ini.getInt("system.seed", std::int64_t(options.seed)));
+    options.timing = ini.getBool("system.timing", options.timing);
+    secmem.inlineMacs =
+        !ini.getBool("controller.separate_macs", !secmem.inlineMacs);
+    secmem.speculativeVerification =
+        ini.getBool("controller.spec_verify",
+                    secmem.speculativeVerification);
+    secmem.counterPrefetch =
+        ini.getBool("controller.ctr_prefetch", secmem.counterPrefetch);
+    secmem.demoteEncCounters =
+        ini.getBool("controller.demote_enc", secmem.demoteEncCounters);
+    options.dram.refresh =
+        ini.getBool("dram.refresh", options.dram.refresh);
+    options.dram.writeQueueing =
+        ini.getBool("dram.write_queueing", options.dram.writeQueueing);
+    options.dram.channels = unsigned(
+        ini.getInt("dram.channels", options.dram.channels));
+    options.dram.ranksPerChannel =
+        unsigned(ini.getInt("dram.ranks", options.dram.ranksPerChannel));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload;
+    std::string trace_path;
+    std::string config_name = "morph";
+    SecureModelConfig secmem;
+    SimOptions options = SimOptions::fromEnv();
+    bool report_occupancy = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("option %s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workload = value();
+        } else if (arg == "--config-file") {
+            applyConfigFile(value(), workload, trace_path, config_name,
+                            secmem, options);
+        } else if (arg == "--trace") {
+            trace_path = value();
+        } else if (arg == "--config") {
+            config_name = value();
+        } else if (arg == "--mem-gb") {
+            secmem.memBytes = std::uint64_t(std::atof(value()) *
+                                            double(1ull << 30));
+        } else if (arg == "--cache-kb") {
+            secmem.metadataCacheBytes =
+                std::size_t(std::atoll(value())) * 1024;
+        } else if (arg == "--accesses") {
+            options.accessesPerCore = std::uint64_t(std::atoll(value()));
+        } else if (arg == "--warmup") {
+            options.warmupPerCore = std::uint64_t(std::atoll(value()));
+        } else if (arg == "--scale") {
+            options.footprintScale = std::atof(value());
+        } else if (arg == "--seed") {
+            options.seed = std::uint64_t(std::atoll(value()));
+        } else if (arg == "--timing") {
+            options.timing = std::atoi(value()) != 0;
+        } else if (arg == "--separate-macs") {
+            secmem.inlineMacs = false;
+        } else if (arg == "--spec-verify") {
+            secmem.speculativeVerification = true;
+        } else if (arg == "--ctr-prefetch") {
+            secmem.counterPrefetch = true;
+        } else if (arg == "--demote-enc") {
+            secmem.demoteEncCounters = true;
+        } else if (arg == "--occupancy") {
+            report_occupancy = true;
+        } else if (arg == "--list") {
+            listWorkloads();
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    secmem.tree = configByName(config_name);
+
+    SimResult result;
+    std::vector<std::uint64_t> occupancy;
+    if (!trace_path.empty()) {
+        // Replay the same file on all four cores through the full
+        // system (occupancy reporting needs direct system access).
+        SystemConfig system_config;
+        system_config.secmem = secmem;
+        system_config.dram = options.dram;
+        system_config.timing = options.timing;
+        std::vector<std::unique_ptr<TraceSource>> traces;
+        for (unsigned core = 0; core < system_config.numCores; ++core)
+            traces.push_back(
+                std::make_unique<FileTraceSource>(trace_path));
+        SimSystem system(system_config, std::move(traces));
+        if (options.warmupPerCore > 0)
+            system.run(options.warmupPerCore);
+        system.startMeasurement();
+        system.run(options.accessesPerCore);
+        result.workload = trace_path;
+        result.configName = secmem.tree.name;
+        result.ipc = system.aggregateIpc();
+        result.cycles = system.measuredCycles();
+        result.instructions = system.measuredInstructions();
+        result.traffic = system.secmem().stats();
+        result.metadataCache =
+            system.secmem().metadataCache().stats();
+        result.dram = system.dram().totalActivity();
+        EnergyParams energy_params;
+        result.energy = computeEnergy(
+            energy_params, result.dram, result.cycles,
+            system_config.dram.cpuFreqHz,
+            system_config.dram.channels *
+                system_config.dram.ranksPerChannel);
+        occupancy = system.secmem().metadataCache().levelOccupancy();
+    } else if (!workload.empty()) {
+        result = runByName(workload, secmem, options);
+    } else {
+        usage();
+        fatal("need --workload or --trace");
+    }
+
+    StatSet stats("morphsim");
+    stats.set("ipc", result.ipc);
+    stats.set("cycles", double(result.cycles));
+    stats.set("instructions", double(result.instructions));
+    result.traffic.report(stats);
+    stats.set("overflows.per_million", result.overflowsPerMillion());
+    stats.set("mdcache.hit_rate", result.metadataCache.hitRate());
+    stats.set("mdcache.misses", double(result.metadataCache.misses));
+    stats.set("dram.reads", double(result.dram.reads));
+    stats.set("dram.writes", double(result.dram.writes));
+    stats.set("dram.activates", double(result.dram.activates));
+    stats.set("dram.row_hit_rate",
+              result.dram.reads + result.dram.writes
+                  ? double(result.dram.rowHits) /
+                        double(result.dram.reads + result.dram.writes)
+                  : 0.0);
+    stats.set("energy.exec_seconds", result.energy.seconds);
+    stats.set("energy.dram_joules", result.energy.dramJ);
+    stats.set("energy.system_joules", result.energy.systemJ);
+    stats.set("energy.system_watts", result.energy.systemPowerW);
+    stats.set("energy.edp", result.energy.edp);
+
+    std::printf("# %s on %s\n", result.configName.c_str(),
+                result.workload.c_str());
+    std::ostringstream os;
+    stats.dump(os);
+    std::fputs(os.str().c_str(), stdout);
+
+    if (report_occupancy && !occupancy.empty()) {
+        for (std::size_t level = 0; level + 1 < occupancy.size();
+             ++level)
+            std::printf("morphsim.mdcache.occupancy.level%zu %llu\n",
+                        level,
+                        (unsigned long long)occupancy[level]);
+    }
+    return 0;
+}
