@@ -8,8 +8,8 @@ namespace morph
 std::uint64_t
 readBits(const CachelineData &line, unsigned offset, unsigned width)
 {
-    assert(width >= 1 && width <= 64);
-    assert(offset + width <= lineBits);
+    MORPH_DCHECK(width >= 1 && width <= 64);
+    MORPH_DCHECK(offset + width <= lineBits);
 
     std::uint64_t value = 0;
     unsigned got = 0;
@@ -31,9 +31,9 @@ void
 writeBits(CachelineData &line, unsigned offset, unsigned width,
           std::uint64_t value)
 {
-    assert(width >= 1 && width <= 64);
-    assert(offset + width <= lineBits);
-    assert(width == 64 || (value >> width) == 0);
+    MORPH_DCHECK(width >= 1 && width <= 64);
+    MORPH_DCHECK(offset + width <= lineBits);
+    MORPH_DCHECK(width == 64 || (value >> width) == 0);
 
     unsigned put = 0;
     unsigned pos = offset;
@@ -54,7 +54,7 @@ writeBits(CachelineData &line, unsigned offset, unsigned width,
 unsigned
 popcountBits(const CachelineData &line, unsigned offset, unsigned nbits)
 {
-    assert(offset + nbits <= lineBits);
+    MORPH_DCHECK(offset + nbits <= lineBits);
     unsigned count = 0;
     unsigned pos = offset;
     unsigned left = nbits;

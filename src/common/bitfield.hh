@@ -13,9 +13,9 @@
 #ifndef MORPH_COMMON_BITFIELD_HH
 #define MORPH_COMMON_BITFIELD_HH
 
-#include <cassert>
 #include <cstdint>
 
+#include "common/check.hh"
 #include "common/types.hh"
 
 namespace morph
@@ -47,7 +47,7 @@ void writeBits(CachelineData &line, unsigned offset, unsigned width,
 inline bool
 testBit(const CachelineData &line, unsigned bit)
 {
-    assert(bit < lineBits);
+    MORPH_DCHECK(bit < lineBits);
     return (line[bit / 8] >> (bit % 8)) & 1;
 }
 
@@ -55,7 +55,7 @@ testBit(const CachelineData &line, unsigned bit)
 inline void
 setBit(CachelineData &line, unsigned bit, bool value)
 {
-    assert(bit < lineBits);
+    MORPH_DCHECK(bit < lineBits);
     const std::uint8_t mask = std::uint8_t(1) << (bit % 8);
     if (value)
         line[bit / 8] |= mask;

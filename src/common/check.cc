@@ -1,0 +1,75 @@
+#include "common/check.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace morph
+{
+namespace check_detail
+{
+namespace
+{
+
+/** Innermost registered cacheline context for the current thread. */
+thread_local LineContext *topContext = nullptr;
+
+} // namespace
+
+LineContext::LineContext(const char *label, const CachelineData &line)
+    : label_(label), line_(&line), prev_(topContext)
+{
+    topContext = this;
+}
+
+LineContext::~LineContext()
+{
+    topContext = prev_;
+}
+
+std::string
+hexDump(const CachelineData &line)
+{
+    std::string out;
+    out.reserve(4 * 56);
+    char buf[8];
+    for (std::size_t row = 0; row < lineBytes; row += 16) {
+        std::snprintf(buf, sizeof(buf), "  %03zx:", row);
+        out += buf;
+        for (std::size_t col = 0; col < 16; ++col) {
+            std::snprintf(buf, sizeof(buf), " %02x", line[row + col]);
+            out += buf;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+void
+failCheck(const char *file, int line, const char *expr,
+          const std::string &detail)
+{
+    std::string report = "MORPH_CHECK failed: ";
+    report += expr;
+    report += "\n  at ";
+    report += file;
+    report += ':';
+    report += std::to_string(line);
+    report += '\n';
+    if (!detail.empty()) {
+        report += detail;
+        report += '\n';
+    }
+    for (const LineContext *ctx = topContext; ctx != nullptr;
+         ctx = ctx->previous()) {
+        report += "  cacheline `";
+        report += ctx->label();
+        report += "`:\n";
+        report += hexDump(ctx->line());
+    }
+    std::fputs(report.c_str(), stderr);
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace check_detail
+} // namespace morph

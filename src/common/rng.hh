@@ -11,10 +11,11 @@
 #ifndef MORPH_COMMON_RNG_HH
 #define MORPH_COMMON_RNG_HH
 
-#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <vector>
+
+#include "common/check.hh"
 
 namespace morph
 {
@@ -50,7 +51,7 @@ class Rng
     std::uint64_t
     below(std::uint64_t bound)
     {
-        assert(bound > 0);
+        MORPH_DCHECK(bound > 0);
         // Unbiased rejection sampling via 128-bit multiply (Lemire).
         while (true) {
             const std::uint64_t x = next();
@@ -105,7 +106,7 @@ class ZipfSampler
     ZipfSampler(std::uint64_t n, double exponent)
         : n_(n), exponent_(exponent)
     {
-        assert(n > 0);
+        MORPH_CHECK(n > 0);
         if (n_ <= cdfLimit) {
             cdf_.reserve(n_);
             double sum = 0.0;

@@ -1,7 +1,7 @@
 #include "common/stats.hh"
 
 #include <algorithm>
-#include <cassert>
+#include "common/check.hh"
 
 namespace morph
 {
@@ -9,7 +9,7 @@ namespace morph
 Histogram::Histogram(double lo, double hi, unsigned buckets)
     : lo_(lo), hi_(hi), buckets_(buckets, 0)
 {
-    assert(hi > lo && buckets > 0);
+    MORPH_CHECK(hi > lo && buckets > 0);
 }
 
 void

@@ -1,9 +1,8 @@
 #include "counters/mcr_codec.hh"
 
 #include <algorithm>
-#include <cassert>
-
 #include "common/bitfield.hh"
+#include "common/check.hh"
 
 namespace morph
 {
@@ -32,7 +31,7 @@ init(CachelineData &line, std::uint64_t major, unsigned base_value)
 {
     line.fill(0);
     setBit(line, fOffset, true);
-    assert((major >> majorBits) == 0);
+    MORPH_CHECK_EQ(major >> majorBits, 0u);
     writeBits(line, majorOffset, majorBits, major);
     setBase(line, 0, base_value);
     setBase(line, 1, base_value);
@@ -47,7 +46,7 @@ majorOf(const CachelineData &line)
 unsigned
 base(const CachelineData &line, unsigned set)
 {
-    assert(set < numSets);
+    MORPH_CHECK_LT(set, numSets);
     return unsigned(readBits(line, base0Offset + set * baseBits,
                              baseBits));
 }
@@ -55,21 +54,23 @@ base(const CachelineData &line, unsigned set)
 void
 setBase(CachelineData &line, unsigned set, unsigned value)
 {
-    assert(set < numSets && value <= baseMax);
+    MORPH_CHECK_LT(set, numSets);
+    MORPH_CHECK_LE(value, baseMax);
     writeBits(line, base0Offset + set * baseBits, baseBits, value);
 }
 
 std::uint64_t
 minorValue(const CachelineData &line, unsigned idx)
 {
-    assert(idx < numCounters);
+    MORPH_CHECK_LT(idx, numCounters);
     return readBits(line, minorOffset(idx), minorBits);
 }
 
 void
 setMinor(CachelineData &line, unsigned idx, std::uint64_t value)
 {
-    assert(idx < numCounters && value <= minorMax);
+    MORPH_CHECK_LT(idx, numCounters);
+    MORPH_CHECK_LE(value, minorMax);
     writeBits(line, minorOffset(idx), minorBits, value);
 }
 
@@ -84,7 +85,7 @@ effective(const CachelineData &line, unsigned idx)
 std::uint64_t
 minMinor(const CachelineData &line, unsigned set)
 {
-    assert(set < numSets);
+    MORPH_CHECK_LT(set, numSets);
     std::uint64_t lowest = minorMax;
     for (unsigned i = 0; i < setSize; ++i)
         lowest = std::min(lowest, minorValue(line, set * setSize + i));
@@ -94,7 +95,7 @@ minMinor(const CachelineData &line, unsigned set)
 std::uint64_t
 maxMinor(const CachelineData &line, unsigned set)
 {
-    assert(set < numSets);
+    MORPH_CHECK_LT(set, numSets);
     std::uint64_t highest = 0;
     for (unsigned i = 0; i < setSize; ++i)
         highest = std::max(highest, minorValue(line, set * setSize + i));

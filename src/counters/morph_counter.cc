@@ -1,7 +1,6 @@
 #include "counters/morph_counter.hh"
 
-#include <cassert>
-
+#include "common/check.hh"
 #include "common/log.hh"
 #include "counters/mcr_codec.hh"
 #include "counters/zcc_codec.hh"
@@ -30,7 +29,7 @@ MorphableCounterFormat::wellFormed(const CachelineData &line) const
 std::uint64_t
 MorphableCounterFormat::read(const CachelineData &line, unsigned idx) const
 {
-    assert(idx < arity());
+    MORPH_CHECK_LT(idx, arity());
     if (zcc::isZcc(line))
         return zcc::majorOf(line) + zcc::minorValue(line, idx);
     return mcr::effective(line, idx);
@@ -45,7 +44,7 @@ MorphableCounterFormat::nonZeroCount(const CachelineData &line) const
 WriteResult
 MorphableCounterFormat::increment(CachelineData &line, unsigned idx) const
 {
-    assert(idx < arity());
+    MORPH_CHECK_LT(idx, arity());
     return zcc::isZcc(line) ? incrementZcc(line, idx)
                             : incrementMcr(line, idx);
 }
@@ -178,12 +177,12 @@ MorphableCounterFormat::incrementMcr(CachelineData &line,
                                               ? idx / mcr::setSize
                                               : 0);
 
-    const auto set_base = [&](unsigned value) {
+    const auto set_base = [&](unsigned new_base) {
         if (doubleBase_) {
-            mcr::setBase(line, idx / mcr::setSize, value);
+            mcr::setBase(line, idx / mcr::setSize, new_base);
         } else {
-            mcr::setBase(line, 0, value);
-            mcr::setBase(line, 1, value);
+            mcr::setBase(line, 0, new_base);
+            mcr::setBase(line, 1, new_base);
         }
     };
 

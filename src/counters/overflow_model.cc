@@ -1,6 +1,6 @@
 #include "counters/overflow_model.hh"
 
-#include <cassert>
+#include "common/check.hh"
 
 namespace morph
 {
@@ -9,7 +9,7 @@ std::uint64_t
 writesToOverflow(const CounterFormat &format, unsigned used,
                  std::uint64_t max_writes)
 {
-    assert(used >= 1 && used <= format.arity());
+    MORPH_CHECK(used >= 1 && used <= format.arity());
 
     CachelineData line;
     format.init(line);
@@ -29,7 +29,7 @@ writesToOverflow(const CounterFormat &format, unsigned used,
 std::uint64_t
 adversarialWritesToOverflow(const CounterFormat &format, unsigned primed)
 {
-    assert(primed >= 1 && primed <= format.arity());
+    MORPH_CHECK(primed >= 1 && primed <= format.arity());
 
     CachelineData line;
     format.init(line);

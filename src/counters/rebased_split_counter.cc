@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bitfield.hh"
+#include "common/check.hh"
 #include "common/log.hh"
 
 namespace morph
@@ -48,7 +49,7 @@ std::uint64_t
 RebasedSplitCounterFormat::minor(const CachelineData &line,
                                  unsigned idx) const
 {
-    assert(idx < arity_);
+    MORPH_CHECK_LT(idx, arity_);
     return readBits(line, minorOffset(idx), minorBits_);
 }
 
@@ -63,7 +64,7 @@ WriteResult
 RebasedSplitCounterFormat::increment(CachelineData &line,
                                      unsigned idx) const
 {
-    assert(idx < arity_);
+    MORPH_CHECK_LT(idx, arity_);
     WriteResult result;
 
     const std::uint64_t value = minor(line, idx);

@@ -1,6 +1,7 @@
 #include "counters/split_counter.hh"
 
 #include "common/bitfield.hh"
+#include "common/check.hh"
 #include "common/log.hh"
 
 namespace morph
@@ -44,7 +45,7 @@ SplitCounterFormat::major(const CachelineData &line) const
 std::uint64_t
 SplitCounterFormat::minor(const CachelineData &line, unsigned idx) const
 {
-    assert(idx < arity_);
+    MORPH_CHECK_LT(idx, arity_);
     return readBits(line, minorOffset(idx), minorBits_);
 }
 
@@ -57,7 +58,7 @@ SplitCounterFormat::read(const CachelineData &line, unsigned idx) const
 WriteResult
 SplitCounterFormat::increment(CachelineData &line, unsigned idx) const
 {
-    assert(idx < arity_);
+    MORPH_CHECK_LT(idx, arity_);
     WriteResult result;
 
     const std::uint64_t value = minor(line, idx);

@@ -1,8 +1,7 @@
 #include "counters/zcc_codec.hh"
 
-#include <cassert>
-
 #include "common/bitfield.hh"
+#include "common/check.hh"
 
 namespace morph
 {
@@ -31,7 +30,7 @@ slotOffset(unsigned rank, unsigned size)
 unsigned
 sizeForCount(unsigned k)
 {
-    assert(k <= maxNonZero);
+    MORPH_CHECK_LE(k, maxNonZero);
     if (k <= 16)
         return 16;
     if (k <= 32)
@@ -68,7 +67,7 @@ majorOf(const CachelineData &line)
 void
 setMajor(CachelineData &line, std::uint64_t major)
 {
-    assert((major >> majorBits) == 0);
+    MORPH_CHECK_EQ(major >> majorBits, 0u);
     writeBits(line, majorOffset, majorBits, major);
 }
 
@@ -87,14 +86,14 @@ count(const CachelineData &line)
 bool
 isNonZero(const CachelineData &line, unsigned idx)
 {
-    assert(idx < numCounters);
+    MORPH_CHECK_LT(idx, numCounters);
     return testBit(line, bvOffset + idx);
 }
 
 std::uint64_t
 minorValue(const CachelineData &line, unsigned idx)
 {
-    assert(idx < numCounters);
+    MORPH_CHECK_LT(idx, numCounters);
     if (!isNonZero(line, idx))
         return 0;
     const unsigned size = ctrSz(line);
@@ -119,19 +118,22 @@ largestMinor(const CachelineData &line)
 void
 setMinor(CachelineData &line, unsigned idx, std::uint64_t value)
 {
-    assert(isNonZero(line, idx));
+    MORPH_CHECK_CONTEXT(line);
+    MORPH_CHECK(isNonZero(line, idx));
     const unsigned size = ctrSz(line);
-    assert(value != 0 && (size == 64 || (value >> size) == 0));
+    MORPH_CHECK(value != 0 && (size == 64 || (value >> size) == 0));
     writeBits(line, slotOffset(rankOf(line, idx), size), size, value);
 }
 
 bool
 insertNonZero(CachelineData &line, unsigned idx)
 {
-    assert(idx < numCounters && !isNonZero(line, idx));
+    MORPH_CHECK_CONTEXT(line);
+    MORPH_CHECK_LT(idx, numCounters);
+    MORPH_CHECK(!isNonZero(line, idx));
 
     const unsigned k = count(line);
-    assert(k < maxNonZero);
+    MORPH_CHECK_LT(k, maxNonZero);
     const unsigned old_size = ctrSz(line);
     const unsigned new_size = sizeForCount(k + 1);
     const std::uint64_t new_max = (1ull << new_size) - 1;

@@ -1,7 +1,8 @@
 #include "crypto/mac.hh"
 
-#include <cassert>
 #include <cstring>
+
+#include "common/check.hh"
 
 namespace morph
 {
@@ -10,7 +11,7 @@ std::uint64_t
 MacEngine::compute(LineAddr line, std::uint64_t counter,
                    const CachelineData &payload, unsigned tag_bits) const
 {
-    assert(tag_bits >= 1 && tag_bits <= 64);
+    MORPH_CHECK(tag_bits >= 1 && tag_bits <= 64);
 
     // Serialize (line || counter || payload) and PRF the buffer.
     std::uint8_t buf[8 + 8 + lineBytes];
@@ -25,7 +26,7 @@ MacEngine::compute(LineAddr line, std::uint64_t counter,
 bool
 MacEngine::equal(std::uint64_t a, std::uint64_t b, unsigned tag_bits)
 {
-    assert(tag_bits >= 1 && tag_bits <= 64);
+    MORPH_CHECK(tag_bits >= 1 && tag_bits <= 64);
     const std::uint64_t mask =
         tag_bits == 64 ? ~0ull : ((1ull << tag_bits) - 1);
     // Branch-free compare: fold the difference to a single bit.

@@ -1,7 +1,8 @@
 #include "crypto/otp.hh"
 
-#include <cassert>
 #include <cstring>
+
+#include "common/check.hh"
 
 namespace morph
 {
@@ -11,7 +12,7 @@ OtpEngine::pad(LineAddr line, std::uint64_t counter) const
 {
     // Effective counters are at most 56 bits wide in every counter
     // format, leaving the top byte of the seed free for the block index.
-    assert((counter >> 56) == 0);
+    MORPH_CHECK_EQ(counter >> 56, 0u);
     CachelineData out;
     for (unsigned block = 0; block < lineBytes / Aes128::blockBytes;
          ++block) {

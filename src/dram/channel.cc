@@ -1,7 +1,7 @@
 #include "dram/channel.hh"
 
 #include <algorithm>
-#include <cassert>
+#include "common/check.hh"
 
 namespace morph
 {
@@ -69,7 +69,7 @@ void
 Channel::RankWindow::record(Cycle act_at)
 {
     lastActs[next] = act_at;
-    next = (next + 1) % lastActs.size();
+    next = unsigned((next + 1) % lastActs.size());
     lastAct = act_at;
     ++actCount;
 }
@@ -92,8 +92,8 @@ Cycle
 Channel::scheduleAccess(const DramCoord &coord, AccessType type,
                         Cycle when)
 {
-    assert(coord.rank < config_.ranksPerChannel);
-    assert(coord.bank < config_.banksPerRank);
+    MORPH_CHECK_LT(coord.rank, config_.ranksPerChannel);
+    MORPH_CHECK_LT(coord.bank, config_.banksPerRank);
     when = afterRefresh(coord.rank, when);
 
     Bank &bank = banks_[coord.rank * config_.banksPerRank + coord.bank];

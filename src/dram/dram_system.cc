@@ -1,6 +1,6 @@
 #include "dram/dram_system.hh"
 
-#include <cassert>
+#include "common/check.hh"
 
 namespace morph
 {
@@ -41,7 +41,7 @@ DramSystem::totalActivity() const
 const ChannelActivity &
 DramSystem::activity(unsigned channel) const
 {
-    assert(channel < channels_.size());
+    MORPH_CHECK_LT(channel, channels_.size());
     return channels_[channel].activity();
 }
 

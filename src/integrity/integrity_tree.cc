@@ -1,7 +1,7 @@
 #include "integrity/integrity_tree.hh"
 
-#include <cassert>
 
+#include "common/check.hh"
 #include "common/log.hh"
 
 namespace morph
@@ -25,8 +25,8 @@ IntegrityTree::~IntegrityTree() = default;
 CachelineData &
 IntegrityTree::getEntry(unsigned level, std::uint64_t index)
 {
-    assert(level < store_.size());
-    assert(index < geom_.levels()[level].entries);
+    MORPH_CHECK_LT(level, store_.size());
+    MORPH_CHECK_LT(index, geom_.levels()[level].entries);
 
     auto &level_store = store_[level];
     auto it = level_store.find(index);
@@ -46,7 +46,7 @@ std::uint64_t
 IntegrityTree::parentCounter(unsigned level, std::uint64_t index)
 {
     const unsigned parent_level = level + 1;
-    assert(parent_level <= geom_.rootLevel());
+    MORPH_CHECK_LE(parent_level, geom_.rootLevel());
     const std::uint64_t pidx = geom_.parentIndex(parent_level, index);
     const unsigned slot = geom_.childSlot(parent_level, index);
     return formats_[parent_level]->read(getEntry(parent_level, pidx),
@@ -119,7 +119,7 @@ IntegrityTree::propagateMutation(unsigned level, std::uint64_t index,
 std::uint64_t
 IntegrityTree::counterOf(LineAddr data_line)
 {
-    assert(data_line < geom_.dataLines());
+    MORPH_CHECK_LT(data_line, geom_.dataLines());
     const std::uint64_t idx = geom_.parentIndex(0, data_line);
     const unsigned slot = geom_.childSlot(0, data_line);
     return formats_[0]->read(getEntry(0, idx), slot);
@@ -128,7 +128,7 @@ IntegrityTree::counterOf(LineAddr data_line)
 IntegrityTree::BumpResult
 IntegrityTree::bumpCounter(LineAddr data_line)
 {
-    assert(data_line < geom_.dataLines());
+    MORPH_CHECK_LT(data_line, geom_.dataLines());
     const std::uint64_t idx = geom_.parentIndex(0, data_line);
     const unsigned slot = geom_.childSlot(0, data_line);
 
@@ -158,7 +158,7 @@ IntegrityTree::bumpCounter(LineAddr data_line)
 bool
 IntegrityTree::verify(LineAddr data_line)
 {
-    assert(data_line < geom_.dataLines());
+    MORPH_CHECK_LT(data_line, geom_.dataLines());
     std::uint64_t index = geom_.parentIndex(0, data_line);
     for (unsigned level = 0; level < geom_.rootLevel(); ++level) {
         const CachelineData &image = getEntry(level, index);
@@ -194,21 +194,21 @@ void
 IntegrityTree::injectEntry(unsigned level, std::uint64_t index,
                            const CachelineData &image)
 {
-    assert(level < store_.size());
+    MORPH_CHECK_LT(level, store_.size());
     store_[level][index] = image;
 }
 
 std::uint64_t
 IntegrityTree::overflowEvents(unsigned level) const
 {
-    assert(level < overflows_.size());
+    MORPH_CHECK_LT(level, overflows_.size());
     return overflows_[level];
 }
 
 std::uint64_t
 IntegrityTree::materializedEntries(unsigned level) const
 {
-    assert(level < store_.size());
+    MORPH_CHECK_LT(level, store_.size());
     return store_[level].size();
 }
 

@@ -1,7 +1,8 @@
 #include "integrity/mac_tree.hh"
 
-#include <cassert>
 #include <cstring>
+
+#include "common/check.hh"
 
 #include "common/log.hh"
 
@@ -40,7 +41,7 @@ MacTree::treeBytes() const
 const CachelineData &
 MacTree::node(unsigned level, std::uint64_t index) const
 {
-    assert(level >= 1 && level <= levels_.size());
+    MORPH_CHECK(level >= 1 && level <= levels_.size());
     static const CachelineData zero{};
     const auto &level_store = store_[level - 1];
     const auto it = level_store.find(index);
@@ -50,8 +51,8 @@ MacTree::node(unsigned level, std::uint64_t index) const
 CachelineData &
 MacTree::nodeMutable(unsigned level, std::uint64_t index)
 {
-    assert(level >= 1 && level <= levels_.size());
-    assert(index < levels_[level - 1].nodes);
+    MORPH_CHECK(level >= 1 && level <= levels_.size());
+    MORPH_CHECK_LT(index, levels_[level - 1].nodes);
     auto &level_store = store_[level - 1];
     const auto it = level_store.find(index);
     if (it != level_store.end())
@@ -72,7 +73,7 @@ MacTree::hashOf(unsigned level, std::uint64_t index,
 std::uint64_t
 MacTree::slotOf(const CachelineData &image, unsigned slot)
 {
-    assert(slot < arity);
+    MORPH_CHECK_LT(slot, arity);
     std::uint64_t value;
     std::memcpy(&value, image.data() + slot * 8, 8);
     return value;
@@ -82,14 +83,14 @@ void
 MacTree::setSlot(CachelineData &image, unsigned slot,
                  std::uint64_t value)
 {
-    assert(slot < arity);
+    MORPH_CHECK_LT(slot, arity);
     std::memcpy(image.data() + slot * 8, &value, 8);
 }
 
 void
 MacTree::updateLeaf(std::uint64_t index, const CachelineData &image)
 {
-    assert(index < leaves_);
+    MORPH_CHECK_LT(index, leaves_);
 
     // Install the leaf hash, then re-hash ancestors up to the root.
     std::uint64_t child_hash = hashOf(0, index, image);
@@ -108,7 +109,7 @@ bool
 MacTree::verifyLeaf(std::uint64_t index,
                     const CachelineData &image) const
 {
-    assert(index < leaves_);
+    MORPH_CHECK_LT(index, leaves_);
 
     std::uint64_t expected = hashOf(0, index, image);
     std::uint64_t child_index = index;

@@ -1,6 +1,6 @@
 #include "integrity/tree_config.hh"
 
-#include <cassert>
+#include "common/check.hh"
 
 namespace morph
 {
@@ -10,7 +10,7 @@ TreeConfig::kindAt(unsigned level) const
 {
     if (level == 0)
         return encryption;
-    assert(!treeLevels.empty());
+    MORPH_CHECK(!treeLevels.empty());
     const std::size_t i = std::min<std::size_t>(level - 1,
                                                 treeLevels.size() - 1);
     return treeLevels[i];

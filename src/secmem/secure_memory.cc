@@ -1,8 +1,8 @@
 #include "secmem/secure_memory.hh"
 
-#include <cassert>
 #include <cstring>
 
+#include "common/check.hh"
 #include "common/log.hh"
 
 namespace morph
@@ -139,7 +139,7 @@ SecureMemory::materialize(LineAddr line)
 void
 SecureMemory::writeLine(LineAddr line, const CachelineData &plaintext)
 {
-    assert(line < geometry().dataLines());
+    MORPH_CHECK_LT(line, geometry().dataLines());
     ++stats_.writes;
 
     // Snapshot the pre-bump counters of every sibling under the same
@@ -188,7 +188,7 @@ SecureMemory::writeLine(LineAddr line, const CachelineData &plaintext)
 std::optional<CachelineData>
 SecureMemory::readLine(LineAddr line, Verdict &verdict)
 {
-    assert(line < geometry().dataLines());
+    MORPH_CHECK_LT(line, geometry().dataLines());
     ++stats_.reads;
 
     // Freshness: the counter protecting this line must verify against

@@ -1,6 +1,7 @@
 #include "secmem/secure_memory_model.hh"
 
-#include <cassert>
+
+#include "common/check.hh"
 
 namespace morph
 {
@@ -151,7 +152,7 @@ SecureMemoryModel::bumpEntryCounter(unsigned level,
                                     std::uint64_t child_index,
                                     std::vector<MemAccess> &out)
 {
-    assert(level >= 1);
+    MORPH_CHECK(level >= 1);
     if (level > geom_.rootLevel())
         return;
 
@@ -223,7 +224,7 @@ void
 SecureMemoryModel::onDataAccess(LineAddr data_line, AccessType type,
                                 std::vector<MemAccess> &out)
 {
-    assert(data_line < geom_.dataLines());
+    MORPH_CHECK_LT(data_line, geom_.dataLines());
     const bool is_write = type == AccessType::Write;
 
     out.push_back({data_line, type, Traffic::Data, !is_write});

@@ -1,9 +1,9 @@
 #include "workloads/trace_generators.hh"
 
-#include <cassert>
 #include <cmath>
 #include <numeric>
 
+#include "common/check.hh"
 #include "common/log.hh"
 
 namespace morph
@@ -34,9 +34,9 @@ class PatternBase : public TraceSource
                      params.footprintLines / linesPerPage)),
           perm_(pages_, params.seed ^ 0xfeedfaceull)
     {
-        assert(params.footprintLines <= params.regionLines);
+        MORPH_CHECK_LE(params.footprintLines, params.regionLines);
         const double pki = params.readPki + params.writePki;
-        assert(pki > 0);
+        MORPH_CHECK(pki > 0);
         meanGap_ = 1000.0 / pki;
         writeFraction_ = params.writePki / pki;
     }
@@ -65,7 +65,7 @@ class PatternBase : public TraceSource
         const std::uint64_t ppage = perm_(vpage % pages_);
         const LineAddr line =
             params_.regionBaseLine + ppage * linesPerPage + offset;
-        assert(line <
+        MORPH_CHECK(line <
                params_.regionBaseLine + params_.regionLines);
         return line;
     }
@@ -255,7 +255,7 @@ PagePermutation::PagePermutation(std::uint64_t num_pages,
                                  std::uint64_t seed)
     : n_(num_pages)
 {
-    assert(num_pages > 0);
+    MORPH_CHECK(num_pages > 0);
     // Multiplier coprime to n gives a bijection v -> (a*v + b) mod n.
     std::uint64_t a = (seed | 1) % n_;
     if (a == 0)
@@ -269,10 +269,11 @@ PagePermutation::PagePermutation(std::uint64_t num_pages,
 std::uint64_t
 PagePermutation::operator()(std::uint64_t vpage) const
 {
-    assert(vpage < n_);
-    return (static_cast<unsigned __int128>(vpage) * multiplier_ +
-            offset_) %
-           n_;
+    MORPH_CHECK_LT(vpage, n_);
+    return std::uint64_t((static_cast<unsigned __int128>(vpage) *
+                              multiplier_ +
+                          offset_) %
+                         n_);
 }
 
 std::unique_ptr<TraceSource>

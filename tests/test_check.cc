@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Death tests for the MORPH_CHECK contract macros: a failing check
+ * must identify the expression, the operands, the location, and hex
+ * dump any registered cacheline, then abort.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/check.hh"
+#include "common/types.hh"
+
+namespace
+{
+
+using namespace morph;
+
+TEST(Check, PassingChecksAreSilent)
+{
+    MORPH_CHECK(1 + 1 == 2);
+    MORPH_CHECK_EQ(4u, 4u);
+    MORPH_CHECK_LT(3u, 4u);
+    MORPH_CHECK_LE(4u, 4u);
+    MORPH_DCHECK(true);
+}
+
+TEST(Check, OperandsEvaluateExactlyOnce)
+{
+    unsigned calls = 0;
+    const auto bump = [&calls]() { return ++calls; };
+    MORPH_CHECK_LE(bump(), 10u);
+    EXPECT_EQ(calls, 1u);
+}
+
+TEST(CheckDeathTest, FailurePrintsExpression)
+{
+    EXPECT_DEATH(MORPH_CHECK(2 + 2 == 5),
+                 "MORPH_CHECK failed: 2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, FailurePrintsLocation)
+{
+    EXPECT_DEATH(MORPH_CHECK(false), "test_check\\.cc:");
+}
+
+TEST(CheckDeathTest, ComparisonPrintsBothOperands)
+{
+    const unsigned idx = 130;
+    const unsigned limit = 128;
+    EXPECT_DEATH(MORPH_CHECK_LT(idx, limit),
+                 "lhs \\(idx\\) = 130 \\(0x82\\)");
+    EXPECT_DEATH(MORPH_CHECK_LT(idx, limit),
+                 "rhs \\(limit\\) = 128 \\(0x80\\)");
+}
+
+TEST(CheckDeathTest, EqAndLeReportOperands)
+{
+    const std::uint64_t major = 0x1ff;
+    EXPECT_DEATH(MORPH_CHECK_EQ(major >> 8, 0u),
+                 "lhs \\(major >> 8\\) = 1");
+    EXPECT_DEATH(MORPH_CHECK_LE(major, 0xffull), "= 511 \\(0x1ff\\)");
+}
+
+TEST(CheckDeathTest, ContextDumpsRegisteredCacheline)
+{
+    CachelineData line;
+    line.fill(0xab);
+    line[0] = 0xcd;
+    MORPH_CHECK_CONTEXT(line);
+    EXPECT_DEATH(MORPH_CHECK(false), "cacheline `line`");
+    EXPECT_DEATH(MORPH_CHECK(false), "000: cd ab ab");
+    EXPECT_DEATH(MORPH_CHECK(false), "030: ab");
+}
+
+TEST(CheckDeathTest, NestedContextsDumpInnermostFirst)
+{
+    CachelineData outer;
+    outer.fill(0x11);
+    MORPH_CHECK_CONTEXT(outer);
+    {
+        CachelineData inner;
+        inner.fill(0x22);
+        MORPH_CHECK_CONTEXT(inner);
+        EXPECT_DEATH(MORPH_CHECK(false),
+                     "cacheline `inner`(.|\n)*cacheline `outer`");
+    }
+    // The inner context unregisters at scope exit.
+    EXPECT_DEATH(MORPH_CHECK(false), "cacheline `outer`");
+}
+
+#if MORPH_DCHECK_IS_ON
+TEST(CheckDeathTest, DcheckAbortsWhenEnabled)
+{
+    EXPECT_DEATH(MORPH_DCHECK(1 == 2), "MORPH_CHECK failed: 1 == 2");
+}
+#else
+TEST(Check, DcheckCompilesOutInRelease)
+{
+    unsigned calls = 0;
+    MORPH_DCHECK(++calls != 0);
+    EXPECT_EQ(calls, 0u); // the expression is never evaluated
+}
+#endif
+
+} // namespace

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Deterministic fuzz round-trip over the counter codecs.
+ *
+ * Hammers every counter organization — with special attention to the
+ * MorphCtr-128 ZCC <-> MCR morph transitions — through long seeded
+ * write sequences, checking the two cardinal invariants of
+ * docs/FORMATS.md after every single increment against a 128-entry
+ * shadow model:
+ *
+ *  1. Monotonicity: the written child's effective value strictly
+ *     increases; no child's effective value ever decreases.
+ *  2. Accountability: a child whose effective value changed without
+ *     being written must be inside the reported re-encryption range;
+ *     children outside the range are bit-identical in effective value.
+ *
+ * All randomness comes from the seeded xoshiro generator (rng.hh), so
+ * every failure is exactly reproducible. The suite is intentionally
+ * sanitizer-friendly: run it under the `asan` preset to scan the
+ * codecs' bit arithmetic for UB as a side effect.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "counters/counter_factory.hh"
+#include "counters/morph_counter.hh"
+#include "counters/zcc_codec.hh"
+
+namespace
+{
+
+using namespace morph;
+
+/** How the fuzzer picks which child to write. */
+enum class Picker
+{
+    Uniform,    ///< uniform over all children
+    FirstHalf,  ///< only the first 64 children (stays in ZCC longer)
+    HotSingle,  ///< hammer one child (overflow stress)
+    Skewed,     ///< Zipf-like skew (mixes morphs and rebases)
+};
+
+unsigned
+pickChild(Picker picker, Rng &rng, unsigned arity, unsigned hot)
+{
+    switch (picker) {
+    case Picker::Uniform:
+        return unsigned(rng.below(arity));
+    case Picker::FirstHalf:
+        return unsigned(rng.below(arity > 1 ? arity / 2 : 1));
+    case Picker::HotSingle:
+        return rng.chance(0.9) ? hot : unsigned(rng.below(arity));
+    case Picker::Skewed:
+        // Square of a uniform variate concentrates mass near zero.
+        {
+            const double u = rng.uniform();
+            return unsigned(double(arity) * u * u) % arity;
+        }
+    }
+    return 0;
+}
+
+/** Run one fuzz campaign and validate invariants on every write. */
+void
+fuzzFormat(const CounterFormat &format, Picker picker,
+           std::uint64_t seed, unsigned writes)
+{
+    const unsigned arity = format.arity();
+    Rng rng(seed);
+    CachelineData line;
+    format.init(line);
+
+    std::vector<std::uint64_t> shadow(arity);
+    for (unsigned i = 0; i < arity; ++i)
+        shadow[i] = format.read(line, i);
+
+    const unsigned hot = unsigned(rng.below(arity));
+    const auto *morphable =
+        dynamic_cast<const MorphableCounterFormat *>(&format);
+    unsigned format_switches = 0;
+
+    for (unsigned w = 0; w < writes; ++w) {
+        const unsigned idx = pickChild(picker, rng, arity, hot);
+        const bool was_zcc =
+            morphable != nullptr && morphable->inZccFormat(line);
+
+        const WriteResult result = format.increment(line, idx);
+
+        if (morphable != nullptr) {
+            ASSERT_TRUE(morphable->wellFormed(line))
+                << format.name() << " seed " << seed << " write " << w;
+            if (was_zcc != morphable->inZccFormat(line)) {
+                EXPECT_TRUE(result.formatSwitch)
+                    << "unreported ZCC<->MCR morph at write " << w;
+                ++format_switches;
+            }
+        }
+
+        for (unsigned i = 0; i < arity; ++i) {
+            const std::uint64_t now = format.read(line, i);
+            const bool in_range =
+                result.overflow && i >= result.reencBegin &&
+                i < result.reencEnd;
+            if (i == idx) {
+                ASSERT_GT(now, shadow[i])
+                    << format.name() << " seed " << seed << " write "
+                    << w << ": written child " << i
+                    << " did not strictly increase";
+            } else if (in_range) {
+                ASSERT_GE(now, shadow[i])
+                    << format.name() << " seed " << seed << " write "
+                    << w << ": reset moved child " << i << " backwards";
+            } else {
+                ASSERT_EQ(now, shadow[i])
+                    << format.name() << " seed " << seed << " write "
+                    << w << ": child " << i
+                    << " changed outside the re-encryption range "
+                    << "[" << result.reencBegin << ", "
+                    << result.reencEnd << ")";
+            }
+            shadow[i] = now;
+        }
+    }
+
+    // Campaigns that use all 128 children of a morphable line must
+    // actually exercise the representation switch.
+    if (morphable != nullptr && morphable->rebasingEnabled() &&
+        picker == Picker::Uniform && writes >= 1000) {
+        EXPECT_GT(format_switches, 0u)
+            << "fuzz campaign never reached the MCR representation";
+    }
+}
+
+struct FuzzCase
+{
+    CounterKind kind;
+    Picker picker;
+    std::uint64_t seed;
+    unsigned writes;
+};
+
+std::string
+caseName(const testing::TestParamInfo<FuzzCase> &info)
+{
+    const char *picker =
+        info.param.picker == Picker::Uniform     ? "Uniform"
+        : info.param.picker == Picker::FirstHalf ? "FirstHalf"
+        : info.param.picker == Picker::HotSingle ? "HotSingle"
+                                                 : "Skewed";
+    std::string name = counterKindName(info.param.kind) + "_" + picker +
+                       "_seed" + std::to_string(info.param.seed);
+    for (char &c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+            c = '_';
+    }
+    return name;
+}
+
+class CodecFuzz : public testing::TestWithParam<FuzzCase>
+{};
+
+TEST_P(CodecFuzz, InvariantsHoldOnEveryWrite)
+{
+    const FuzzCase &c = GetParam();
+    const auto format = makeCounterFormat(c.kind);
+    fuzzFormat(*format, c.picker, c.seed, c.writes);
+}
+
+std::vector<FuzzCase>
+fuzzCases()
+{
+    std::vector<FuzzCase> cases;
+    const CounterKind morph_kinds[] = {
+        CounterKind::Morph,
+        CounterKind::MorphZccOnly,
+        CounterKind::MorphSingleBase,
+    };
+    const Picker pickers[] = {Picker::Uniform, Picker::FirstHalf,
+                              Picker::HotSingle, Picker::Skewed};
+    for (CounterKind kind : morph_kinds)
+        for (Picker picker : pickers)
+            for (std::uint64_t seed : {1ull, 42ull})
+                cases.push_back({kind, picker, seed, 6000});
+
+    // The classical formats ride along with one campaign each.
+    for (CounterKind kind :
+         {CounterKind::SC64, CounterKind::SC128, CounterKind::SC8,
+          CounterKind::SC64Rebased})
+        cases.push_back({kind, Picker::Uniform, 7ull, 4000});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, CodecFuzz,
+                         testing::ValuesIn(fuzzCases()), caseName);
+
+/**
+ * Dedicated morph round-trip: drive a line ZCC -> MCR (65th live
+ * child) and back (base saturation -> full reset -> ZCC), asserting
+ * the documented value-preservation across each transition.
+ */
+TEST(CodecFuzz, MorphRoundTripPreservesEffectiveValues)
+{
+    MorphableCounterFormat format(true, true);
+    CachelineData line;
+    format.init(line);
+    Rng rng(0xdecafbad);
+
+    // Touch 64 distinct children (stays ZCC), values small.
+    for (unsigned i = 0; i < 64; ++i)
+        format.increment(line, i);
+    ASSERT_TRUE(format.inZccFormat(line));
+
+    std::vector<std::uint64_t> before(128);
+    for (unsigned i = 0; i < 128; ++i)
+        before[i] = format.read(line, i);
+
+    // The 65th live child triggers the morph; every minor is <= 7 so
+    // the representation switch must preserve all effective values.
+    const WriteResult morph = format.increment(line, 100);
+    ASSERT_TRUE(morph.formatSwitch);
+    ASSERT_FALSE(format.inZccFormat(line));
+    for (unsigned i = 0; i < 128; ++i) {
+        if (i == 100) {
+            EXPECT_EQ(format.read(line, i), before[i] + 1);
+        } else if (!morph.overflow || i < morph.reencBegin ||
+                   i >= morph.reencEnd) {
+            EXPECT_EQ(format.read(line, i), before[i])
+                << "morph changed untouched child " << i;
+        }
+    }
+
+    // Keep writing until the line falls back to ZCC (base overflow
+    // forces a full reset); monotonicity is checked by the fuzzer
+    // above, here we just require the transition to happen.
+    bool returned_to_zcc = false;
+    for (unsigned w = 0; w < 2'000'000 && !returned_to_zcc; ++w) {
+        format.increment(line, unsigned(rng.below(64)));
+        returned_to_zcc = format.inZccFormat(line);
+    }
+    EXPECT_TRUE(returned_to_zcc)
+        << "MCR never fell back to ZCC under sustained pressure";
+}
+
+} // namespace
