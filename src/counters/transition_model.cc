@@ -1,0 +1,634 @@
+#include "counters/transition_model.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/bitfield.hh"
+#include "common/check.hh"
+#include "common/log.hh"
+#include "counters/counter_factory.hh"
+#include "counters/mcr_codec.hh"
+#include "counters/morph_counter.hh"
+#include "counters/zcc_codec.hh"
+
+namespace morph
+{
+
+namespace
+{
+
+// Documented field offsets (docs/FORMATS.md). Deliberately restated as
+// literals rather than pulled from the codec headers: the model layer
+// is an independent reading of the specification, so an offset drift
+// in a codec shows up as a decode/canonicity failure instead of being
+// silently replicated here.
+constexpr unsigned scMajorOffset = 0;
+constexpr unsigned scMajorBits = 64;
+constexpr unsigned scMinorOffset = 64;
+constexpr unsigned scMinorFieldBits = 384;
+
+constexpr unsigned rsMajorOffset = 0;
+constexpr unsigned rsMajorBits = 57;
+constexpr unsigned rsBaseOffset = 57;
+constexpr unsigned rsBaseBits = 7;
+
+constexpr unsigned zFlagOffset = 0;
+constexpr unsigned zCtrSzOffset = 1;
+constexpr unsigned zCtrSzBits = 6;
+constexpr unsigned zMajorOffset = 7;
+constexpr unsigned zMajorBits = 57;
+constexpr unsigned zBvOffset = 64;
+constexpr unsigned zPayloadOffset = 192;
+constexpr unsigned zSlots = 128;
+
+constexpr unsigned mMajorOffset = 1;
+constexpr unsigned mMajorBits = 49;
+constexpr unsigned mBase0Offset = 50;
+constexpr unsigned mBaseBits = 7;
+constexpr unsigned mMinorOffset = 64;
+constexpr unsigned mMinorBits = 3;
+constexpr unsigned mSetSize = 64;
+constexpr unsigned mSlots = 128;
+
+/** Append @p value to @p key as @p nbytes little-endian bytes. */
+void
+appendLe(std::string &key, std::uint64_t value, unsigned nbytes)
+{
+    for (unsigned i = 0; i < nbytes; ++i)
+        key.push_back(char(std::uint8_t(value >> (8 * i))));
+}
+
+/** Lowest slot index per distinct value within [begin, end). */
+void
+appendClassRepresentatives(std::vector<unsigned> &out,
+                           const std::vector<std::uint64_t> &minors,
+                           unsigned begin, unsigned end)
+{
+    for (unsigned i = begin; i < end; ++i) {
+        bool first = true;
+        for (unsigned j = begin; j < i && first; ++j)
+            first = minors[j] != minors[i];
+        if (first)
+            out.push_back(i);
+    }
+}
+
+/** Common plumbing: name, format ownership, script-driven seeds. */
+class CodecModelBase : public TransitionModel
+{
+  public:
+    explicit CodecModelBase(ModelSpec spec) : spec_(std::move(spec))
+    {
+        MORPH_CHECK(spec_.format != nullptr);
+    }
+
+    const std::string &name() const override { return spec_.name; }
+    const CounterFormat &format() const override { return *spec_.format; }
+
+  protected:
+    /** Fresh init() image. */
+    CachelineData
+    initImage() const
+    {
+        CachelineData line;
+        format().init(line);
+        return line;
+    }
+
+    /** @p writes increments of @p slot on @p line through the codec. */
+    void
+    hammer(CachelineData &line, unsigned slot, std::uint64_t writes) const
+    {
+        for (std::uint64_t w = 0; w < writes; ++w)
+            format().increment(line, slot);
+    }
+
+    /** One increment on each of the first @p count slots. */
+    void
+    spread(CachelineData &line, unsigned count) const
+    {
+        for (unsigned i = 0; i < count && i < arity(); ++i)
+            format().increment(line, i);
+    }
+
+    ModelSpec spec_;
+};
+
+// ---------------------------------------------------------------------
+// SC-n (SplitCounterFormat layout)
+// ---------------------------------------------------------------------
+
+class SplitModel : public CodecModelBase
+{
+  public:
+    using CodecModelBase::CodecModelBase;
+
+    DecodedState
+    decode(const CachelineData &line) const override
+    {
+        const unsigned n = arity();
+        const unsigned minor_bits = scMinorFieldBits / n;
+        DecodedState s;
+        s.rep = RepTag::Split;
+        s.arity = n;
+        s.major = readBits(line, scMajorOffset, scMajorBits);
+        s.minors.resize(n);
+        s.effective.resize(n);
+        for (unsigned i = 0; i < n; ++i) {
+            s.minors[i] =
+                readBits(line, scMinorOffset + i * minor_bits, minor_bits);
+            s.effective[i] = (s.major << minor_bits) | s.minors[i];
+        }
+        return s;
+    }
+
+    CachelineData
+    encode(const DecodedState &s) const override
+    {
+        const unsigned minor_bits = scMinorFieldBits / s.arity;
+        CachelineData line;
+        line.fill(0);
+        writeBits(line, scMajorOffset, scMajorBits, s.major);
+        for (unsigned i = 0; i < s.arity; ++i)
+            writeBits(line, scMinorOffset + i * minor_bits, minor_bits,
+                      s.minors[i]);
+        return line;
+    }
+
+    std::string
+    canonicalKey(const CachelineData &line) const override
+    {
+        // The major is elided: overflow behaviour depends only on the
+        // minors, and every transition moves effective values relative
+        // to the (arbitrary) major.
+        DecodedState s = decode(line);
+        std::sort(s.minors.begin(), s.minors.end());
+        std::string key = "S";
+        for (const std::uint64_t m : s.minors)
+            appendLe(key, m, 8);
+        return key;
+    }
+
+    std::vector<unsigned>
+    representativeSlots(const CachelineData &line) const override
+    {
+        const DecodedState s = decode(line);
+        std::vector<unsigned> out;
+        appendClassRepresentatives(out, s.minors, 0, s.arity);
+        return out;
+    }
+
+    bool
+    wellFormed(const CachelineData &) const override
+    {
+        return true; // fixed layout: every bit pattern decodes
+    }
+
+    std::vector<CachelineData>
+    seedStates() const override
+    {
+        const unsigned n = arity();
+        const std::uint64_t minor_max =
+            (1ull << (scMinorFieldBits / n)) - 1;
+        std::vector<CachelineData> seeds;
+        seeds.push_back(initImage());
+
+        // One saturated slot, the rest untouched: the reset edge.
+        CachelineData hot = initImage();
+        hammer(hot, 0, minor_max);
+        seeds.push_back(hot);
+
+        // Every slot live, one saturated: reset with full occupancy.
+        CachelineData dense = initImage();
+        spread(dense, n);
+        hammer(dense, 0, minor_max - 1);
+        seeds.push_back(dense);
+
+        // Half occupancy near saturation.
+        CachelineData half = initImage();
+        spread(half, n / 2);
+        hammer(half, 0, minor_max - 2);
+        seeds.push_back(half);
+        return seeds;
+    }
+};
+
+// ---------------------------------------------------------------------
+// SC-n+R (RebasedSplitCounterFormat layout)
+// ---------------------------------------------------------------------
+
+class RebasedSplitModel : public CodecModelBase
+{
+  public:
+    using CodecModelBase::CodecModelBase;
+
+    DecodedState
+    decode(const CachelineData &line) const override
+    {
+        const unsigned n = arity();
+        const unsigned minor_bits = scMinorFieldBits / n;
+        DecodedState s;
+        s.rep = RepTag::RebasedSplit;
+        s.arity = n;
+        s.major = readBits(line, rsMajorOffset, rsMajorBits);
+        s.base[0] = unsigned(readBits(line, rsBaseOffset, rsBaseBits));
+        const std::uint64_t combined =
+            (s.major << rsBaseBits) | s.base[0];
+        s.minors.resize(n);
+        s.effective.resize(n);
+        for (unsigned i = 0; i < n; ++i) {
+            s.minors[i] =
+                readBits(line, scMinorOffset + i * minor_bits, minor_bits);
+            s.effective[i] = combined + s.minors[i];
+        }
+        return s;
+    }
+
+    CachelineData
+    encode(const DecodedState &s) const override
+    {
+        const unsigned minor_bits = scMinorFieldBits / s.arity;
+        CachelineData line;
+        line.fill(0);
+        writeBits(line, rsMajorOffset, rsMajorBits, s.major);
+        writeBits(line, rsBaseOffset, rsBaseBits, s.base[0]);
+        for (unsigned i = 0; i < s.arity; ++i)
+            writeBits(line, scMinorOffset + i * minor_bits, minor_bits,
+                      s.minors[i]);
+        return line;
+    }
+
+    std::string
+    canonicalKey(const CachelineData &line) const override
+    {
+        // The combined base is elided: rebases and resets advance it
+        // relative to its current value and it cannot overflow (the
+        // major and base form one 64-bit quantity).
+        DecodedState s = decode(line);
+        std::sort(s.minors.begin(), s.minors.end());
+        std::string key = "R";
+        for (const std::uint64_t m : s.minors)
+            appendLe(key, m, 8);
+        return key;
+    }
+
+    std::vector<unsigned>
+    representativeSlots(const CachelineData &line) const override
+    {
+        const DecodedState s = decode(line);
+        std::vector<unsigned> out;
+        appendClassRepresentatives(out, s.minors, 0, s.arity);
+        return out;
+    }
+
+    bool
+    wellFormed(const CachelineData &) const override
+    {
+        return true;
+    }
+
+    std::vector<CachelineData>
+    seedStates() const override
+    {
+        const unsigned n = arity();
+        const std::uint64_t minor_max =
+            (1ull << (scMinorFieldBits / n)) - 1;
+        std::vector<CachelineData> seeds;
+        seeds.push_back(initImage());
+
+        // Saturated slot with a zero present: the group-reset edge.
+        CachelineData hot = initImage();
+        hammer(hot, 0, minor_max);
+        seeds.push_back(hot);
+
+        // All slots non-zero, one saturated: the rebase edge.
+        CachelineData rebase = initImage();
+        spread(rebase, n);
+        hammer(rebase, 0, minor_max - 1);
+        seeds.push_back(rebase);
+
+        // All slots one below saturation: rebase yield of exactly one.
+        CachelineData tight = initImage();
+        spread(tight, n);
+        for (unsigned i = 0; i < n; ++i)
+            hammer(tight, i, minor_max - 2);
+        seeds.push_back(tight);
+        return seeds;
+    }
+};
+
+// ---------------------------------------------------------------------
+// MorphCtr (ZCC or MCR depending on the format flag)
+// ---------------------------------------------------------------------
+
+class MorphModel : public CodecModelBase
+{
+  public:
+    using CodecModelBase::CodecModelBase;
+
+    DecodedState
+    decode(const CachelineData &line) const override
+    {
+        return testBit(line, zFlagOffset) ? decodeMcr(line)
+                                          : decodeZcc(line);
+    }
+
+    CachelineData
+    encode(const DecodedState &s) const override
+    {
+        CachelineData line;
+        line.fill(0);
+        if (s.rep == RepTag::Mcr) {
+            setBit(line, zFlagOffset, true);
+            writeBits(line, mMajorOffset, mMajorBits, s.major);
+            writeBits(line, mBase0Offset, mBaseBits, s.base[0]);
+            writeBits(line, mBase0Offset + mBaseBits, mBaseBits,
+                      s.base[1]);
+            for (unsigned i = 0; i < mSlots; ++i)
+                writeBits(line, mMinorOffset + i * mMinorBits, mMinorBits,
+                          s.minors[i]);
+            return line;
+        }
+        MORPH_CHECK(s.rep == RepTag::Zcc);
+        writeBits(line, zCtrSzOffset, zCtrSzBits, s.ctrSz);
+        writeBits(line, zMajorOffset, zMajorBits, s.major);
+        unsigned rank = 0;
+        for (unsigned i = 0; i < zSlots; ++i) {
+            if (s.minors[i] == 0)
+                continue;
+            setBit(line, zBvOffset + i, true);
+            if (s.ctrSz > 0)
+                writeBits(line, zPayloadOffset + rank * s.ctrSz, s.ctrSz,
+                          s.minors[i]);
+            ++rank;
+        }
+        return line;
+    }
+
+    std::string
+    canonicalKey(const CachelineData &line) const override
+    {
+        DecodedState s = decode(line);
+        std::string key;
+        if (s.rep == RepTag::Zcc) {
+            // Keep major mod 128: those bits become the MCR base on a
+            // morph; everything above is relative (see header).
+            key = "Z";
+            appendLe(key, s.major & 127u, 1);
+            std::sort(s.minors.begin(), s.minors.end());
+            for (const std::uint64_t m : s.minors)
+                appendLe(key, m, 2);
+            return key;
+        }
+        if (!spec_.doubleBase) {
+            // Single base: one rebasing group spanning all 128 slots.
+            key = "m";
+            appendLe(key, s.base[0], 1);
+            std::sort(s.minors.begin(), s.minors.end());
+            for (const std::uint64_t m : s.minors)
+                appendLe(key, m, 1);
+            return key;
+        }
+        // Double base: sets rebase independently and are mutually
+        // interchangeable, so sort within each set descriptor and then
+        // sort the two descriptors.
+        std::string set_keys[2];
+        for (unsigned set = 0; set < 2; ++set) {
+            std::string &sk = set_keys[set];
+            appendLe(sk, s.base[set], 1);
+            std::vector<std::uint64_t> minors(
+                s.minors.begin() + set * mSetSize,
+                s.minors.begin() + (set + 1) * mSetSize);
+            std::sort(minors.begin(), minors.end());
+            for (const std::uint64_t m : minors)
+                appendLe(sk, m, 1);
+        }
+        if (set_keys[1] < set_keys[0])
+            std::swap(set_keys[0], set_keys[1]);
+        return "M" + set_keys[0] + set_keys[1];
+    }
+
+    std::vector<unsigned>
+    representativeSlots(const CachelineData &line) const override
+    {
+        const DecodedState s = decode(line);
+        std::vector<unsigned> out;
+        if (s.rep == RepTag::Mcr && spec_.doubleBase) {
+            appendClassRepresentatives(out, s.minors, 0, mSetSize);
+            appendClassRepresentatives(out, s.minors, mSetSize, mSlots);
+        } else {
+            appendClassRepresentatives(out, s.minors, 0, s.arity);
+        }
+        return out;
+    }
+
+    bool
+    wellFormed(const CachelineData &line) const override
+    {
+        const auto *morphable =
+            dynamic_cast<const MorphableCounterFormat *>(spec_.format.get());
+        if (morphable != nullptr)
+            return morphable->wellFormed(line);
+        return zcc::isZcc(line) ? zcc::isWellFormed(line) : true;
+    }
+
+    std::vector<CachelineData>
+    seedStates() const override
+    {
+        std::vector<CachelineData> seeds;
+        if (spec_.zccSeeds)
+            appendZccSeeds(seeds);
+        if (spec_.mcrSeeds)
+            appendMcrSeeds(seeds);
+        MORPH_CHECK(!seeds.empty());
+        return seeds;
+    }
+
+  private:
+    DecodedState
+    decodeZcc(const CachelineData &line) const
+    {
+        DecodedState s;
+        s.rep = RepTag::Zcc;
+        s.arity = zSlots;
+        s.ctrSz = unsigned(readBits(line, zCtrSzOffset, zCtrSzBits));
+        s.major = readBits(line, zMajorOffset, zMajorBits);
+        s.minors.resize(zSlots);
+        s.effective.resize(zSlots);
+        unsigned rank = 0;
+        for (unsigned i = 0; i < zSlots; ++i) {
+            if (s.ctrSz > 0 && testBit(line, zBvOffset + i)) {
+                s.minors[i] = readBits(
+                    line, zPayloadOffset + rank * s.ctrSz, s.ctrSz);
+                ++rank;
+            } else {
+                s.minors[i] = 0;
+            }
+            s.effective[i] = s.major + s.minors[i];
+        }
+        return s;
+    }
+
+    DecodedState
+    decodeMcr(const CachelineData &line) const
+    {
+        DecodedState s;
+        s.rep = RepTag::Mcr;
+        s.arity = mSlots;
+        s.major = readBits(line, mMajorOffset, mMajorBits);
+        s.base[0] = unsigned(readBits(line, mBase0Offset, mBaseBits));
+        s.base[1] =
+            unsigned(readBits(line, mBase0Offset + mBaseBits, mBaseBits));
+        s.minors.resize(mSlots);
+        s.effective.resize(mSlots);
+        for (unsigned i = 0; i < mSlots; ++i) {
+            s.minors[i] =
+                readBits(line, mMinorOffset + i * mMinorBits, mMinorBits);
+            s.effective[i] =
+                ((s.major << mBaseBits) | s.base[i / mSetSize]) +
+                s.minors[i];
+        }
+        return s;
+    }
+
+    /** ZCC image with @p major and one increment on slots [0, live). */
+    CachelineData
+    zccSeed(std::uint64_t major, unsigned live) const
+    {
+        CachelineData line;
+        zcc::init(line, major);
+        spread(line, live);
+        return line;
+    }
+
+    void
+    appendZccSeeds(std::vector<CachelineData> &seeds) const
+    {
+        seeds.push_back(initImage());
+
+        // Every width-bucket boundary, one write per live slot: the
+        // insert edge from k straddles the k -> k+1 repack.
+        for (const unsigned live : {16u, 17u, 32u, 33u, 36u, 37u, 42u,
+                                    43u, 51u, 52u, 63u, 64u})
+            seeds.push_back(zccSeed(0, live));
+
+        // Saturated minor at several widths: the in-place overflow and
+        // repack-failure edges. Populations chosen so one hot slot at
+        // the width maximum coexists with cold slots.
+        struct HotSeed
+        {
+            unsigned live;
+            std::uint64_t hotValue;
+        };
+        const HotSeed hot_seeds[] = {
+            {1, (1u << 16) - 1},  {16, (1u << 16) - 1},
+            {17, (1u << 8) - 1},  {33, (1u << 7) - 1},
+            {43, (1u << 5) - 1},  {52, (1u << 4) - 1},
+            {64, (1u << 4) - 1},
+        };
+        for (const HotSeed &hs : hot_seeds) {
+            CachelineData line = zccSeed(0, hs.live);
+            hammer(line, 0, hs.hotValue - 1); // spread() already wrote 1
+            seeds.push_back(line);
+        }
+
+        // Majors whose low 7 bits sit at the MCR base cliff: a morph
+        // from these starts one rebase away from base overflow.
+        for (const std::uint64_t major : {125ull, 126ull, 127ull}) {
+            seeds.push_back(zccSeed(major, 64));
+            CachelineData line = zccSeed(major, 64);
+            hammer(line, 0, 6); // live minors at 7: morph-eligible edge
+            seeds.push_back(line);
+        }
+    }
+
+    /** MCR image built from public codec fields. */
+    CachelineData
+    mcrSeed(unsigned base, std::uint64_t fill,
+            std::uint64_t slot0) const
+    {
+        CachelineData line;
+        mcr::init(line, 0, base);
+        for (unsigned i = 0; i < mSlots; ++i) {
+            const std::uint64_t value = i == 0 ? slot0 : fill;
+            if (value != 0)
+                mcr::setMinor(line, i, value);
+        }
+        return line;
+    }
+
+    void
+    appendMcrSeeds(std::vector<CachelineData> &seeds) const
+    {
+        for (const unsigned base : {0u, 100u, 119u, 126u, 127u}) {
+            seeds.push_back(mcrSeed(base, 0, 0));
+            seeds.push_back(mcrSeed(base, 0, 7)); // reset edge
+            seeds.push_back(mcrSeed(base, 1, 7)); // rebase edge
+            seeds.push_back(mcrSeed(base, 7, 7)); // saturated line
+            seeds.push_back(mcrSeed(base, 6, 6)); // near saturation
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<TransitionModel>
+makeTransitionModel(ModelSpec spec)
+{
+    switch (spec.flavor) {
+      case ModelFlavor::Split:
+        return std::make_unique<SplitModel>(std::move(spec));
+      case ModelFlavor::RebasedSplit:
+        return std::make_unique<RebasedSplitModel>(std::move(spec));
+      case ModelFlavor::Morph:
+        return std::make_unique<MorphModel>(std::move(spec));
+    }
+    panic("unknown model flavor %d", int(spec.flavor));
+}
+
+std::unique_ptr<TransitionModel>
+makeNamedTransitionModel(const std::string &name)
+{
+    ModelSpec spec;
+    spec.name = name;
+    if (name == "zcc") {
+        // ZCC-only ablation: the dense fallback is a uniform split and
+        // resets instead of rebasing (Fig 11).
+        spec.flavor = ModelFlavor::Morph;
+        spec.format = makeCounterFormat(CounterKind::MorphZccOnly);
+        spec.mcrSeeds = true;
+    } else if (name == "mcr") {
+        // The dense representation explored from MCR seeds only: the
+        // rebase / group-reset / fall-back-to-ZCC edges.
+        spec.flavor = ModelFlavor::Morph;
+        spec.format = makeCounterFormat(CounterKind::Morph);
+        spec.zccSeeds = false;
+        spec.mcrSeeds = true;
+    } else if (name == "sc64") {
+        spec.flavor = ModelFlavor::Split;
+        spec.format = makeCounterFormat(CounterKind::SC64);
+    } else if (name == "sc64r") {
+        spec.flavor = ModelFlavor::RebasedSplit;
+        spec.format = makeCounterFormat(CounterKind::SC64Rebased);
+    } else if (name == "morph") {
+        spec.flavor = ModelFlavor::Morph;
+        spec.format = makeCounterFormat(CounterKind::Morph);
+        spec.mcrSeeds = true;
+    } else if (name == "morph-sb") {
+        spec.flavor = ModelFlavor::Morph;
+        spec.format = makeCounterFormat(CounterKind::MorphSingleBase);
+        spec.doubleBase = false;
+        spec.mcrSeeds = true;
+    } else {
+        return nullptr;
+    }
+    return makeTransitionModel(std::move(spec));
+}
+
+std::vector<std::string>
+transitionModelNames()
+{
+    return {"zcc", "mcr", "sc64", "sc64r", "morph", "morph-sb"};
+}
+
+} // namespace morph

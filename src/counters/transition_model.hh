@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Transition-relation introspection over counter-cacheline codecs.
+ *
+ * The counter formats in this library are stateless codecs over 64-byte
+ * images; the *transition relation* of a format is the set of edges
+ *
+ *     image --bump(slot)--> image'
+ *
+ * for every well-formed image and every slot. tools/morphverify.cc
+ * explores that relation exhaustively (within a budget) and checks the
+ * paper's security invariants on every edge. This header provides the
+ * model layer it needs:
+ *
+ *  - DecodedState: the canonical *abstract* state of an image — format
+ *    tag plus every raw field (major, bases, per-slot minors) and the
+ *    derived per-slot effective values. decode() re-derives all of it
+ *    with raw readBits() at the offsets documented in docs/FORMATS.md,
+ *    independently of the codec's own getters, so codec/spec drift is
+ *    itself a checkable property.
+ *
+ *  - encode(): the unique well-formed image for an abstract state (MAC
+ *    bits zero). `encode(decode(img)) == img` (modulo the MAC field) is
+ *    the *canonicity* invariant: no two bit patterns alias one logical
+ *    state (stale payload bits, mis-packed ranks, wrong Ctr-Sz).
+ *
+ *  - canonicalKey(): a symmetry-reduced fingerprint of the state. Two
+ *    states with equal keys have isomorphic futures, so the model
+ *    checker's visited set collapses the 128-slot space to a tractable
+ *    quotient. The reductions and why they are sound:
+ *
+ *      * slot symmetry — slots are interchangeable within a rebasing
+ *        set (layouts assign no per-slot semantics beyond position), so
+ *        minors are kept as a sorted multiset;
+ *      * major elision — every codec's behaviour is relative to its
+ *        major/combined base except (a) the unreachable 57-bit
+ *        exhaustion panic and (b) the ZCC major's low 7 bits, which
+ *        become the MCR base on a morph. The key therefore keeps
+ *        `major mod 128` for ZCC states and drops the major entirely
+ *        for SC/SC+R/MCR states; the low-7-bit residue of every
+ *        successor state is computable from the retained fields
+ *        ((a + b) mod 128 depends only on a mod 128), so the quotient
+ *        is closed under the transition relation;
+ *      * set symmetry — the two 64-child MCR sets are interchangeable
+ *        as wholes, so the (base, multiset) descriptors are sorted.
+ *
+ *  - representativeSlots(): one bump candidate per symmetry class
+ *    (distinct minor value, per rebasing set). Bumping two slots of one
+ *    class yields key-identical successors, so exploring one suffices.
+ *
+ *  - seedStates(): a deterministic family of starting images — the
+ *    init() state plus corner states (saturated minors, bucket-boundary
+ *    populations, near-overflow bases) built through public codec
+ *    operations, so breadth-first search reaches the interesting
+ *    overflow/rebase/morph edges within a small budget instead of
+ *    needing the millions of increments a cold start would take.
+ */
+
+#ifndef MORPH_COUNTERS_TRANSITION_MODEL_HH
+#define MORPH_COUNTERS_TRANSITION_MODEL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "counters/counter_block.hh"
+
+namespace morph
+{
+
+/** Which representation an image currently uses. */
+enum class RepTag
+{
+    Split,        ///< SC-n: major(64) + uniform minors
+    RebasedSplit, ///< SC-n+R: major(57) | base(7) + uniform minors
+    Zcc,          ///< sparse ZCC (F = 0)
+    Mcr,          ///< dense double-base MCR (F = 1)
+};
+
+/** Abstract (logical) state decoded from a counter cacheline image. */
+struct DecodedState
+{
+    RepTag rep = RepTag::Split;
+    unsigned arity = 0;
+
+    /** Raw major field (SC: 64b, SC+R: 57b, ZCC: 57b, MCR: 49b). */
+    std::uint64_t major = 0;
+
+    /** SC+R base (index 0) or the two MCR set bases. */
+    unsigned base[2] = {0, 0};
+
+    /** Stored Ctr-Sz width (ZCC only). */
+    unsigned ctrSz = 0;
+
+    /** Raw minor counter per slot (0 for dead ZCC slots). */
+    std::vector<std::uint64_t> minors;
+
+    /** Derived effective value per slot (the AES-CTR / MAC input). */
+    std::vector<std::uint64_t> effective;
+};
+
+/** Codec family a TransitionModel interprets images as. */
+enum class ModelFlavor
+{
+    Split,        ///< SplitCounterFormat layout
+    RebasedSplit, ///< RebasedSplitCounterFormat layout
+    Morph,        ///< MorphCtr: ZCC or MCR depending on the F bit
+};
+
+/** Introspection interface over one counter format's transition relation. */
+class TransitionModel
+{
+  public:
+    virtual ~TransitionModel() = default;
+
+    /** Display name ("sc64", "morph", ...). */
+    virtual const std::string &name() const = 0;
+
+    /** The codec whose transition relation this model exposes. */
+    virtual const CounterFormat &format() const = 0;
+
+    unsigned arity() const { return format().arity(); }
+
+    /** Deterministic starting images (init state first). */
+    virtual std::vector<CachelineData> seedStates() const = 0;
+
+    /**
+     * Abstract decode at the documented raw bit offsets (independent of
+     * the codec's getters; see file comment).
+     */
+    virtual DecodedState decode(const CachelineData &line) const = 0;
+
+    /** Canonical image of an abstract state; MAC bits are zero. */
+    virtual CachelineData encode(const DecodedState &state) const = 0;
+
+    /** Symmetry-reduced state fingerprint (see file comment). */
+    virtual std::string canonicalKey(const CachelineData &line) const = 0;
+
+    /** One bump slot per symmetry class, ascending slot order. */
+    virtual std::vector<unsigned>
+    representativeSlots(const CachelineData &line) const = 0;
+
+    /** Apply bump(slot) through the codec. */
+    WriteResult
+    bump(CachelineData &line, unsigned slot) const
+    {
+        return format().increment(line, slot);
+    }
+
+    /** Structural validity of @p line for this model's flavor. */
+    virtual bool wellFormed(const CachelineData &line) const = 0;
+};
+
+/** How a model is assembled from a codec. */
+struct ModelSpec
+{
+    ModelFlavor flavor = ModelFlavor::Split;
+    std::shared_ptr<const CounterFormat> format;
+    std::string name;
+
+    /** Morph flavor: rebasing group is one 64-child set (true) or the
+     *  whole line (false). Matches MorphableCounterFormat's setting. */
+    bool doubleBase = true;
+
+    /** Include the sparse-representation (ZCC) seed family. */
+    bool zccSeeds = true;
+
+    /** Include the dense-representation (MCR) seed family. */
+    bool mcrSeeds = false;
+};
+
+/** Build a model over an arbitrary codec (used for broken variants). */
+std::unique_ptr<TransitionModel> makeTransitionModel(ModelSpec spec);
+
+/**
+ * Registry of the library's verified formats:
+ * "zcc" (MorphCtr-128, rebasing off), "mcr" (MorphCtr-128 explored
+ * from dense seeds), "sc64", "sc64r", "morph", "morph-sb".
+ */
+std::unique_ptr<TransitionModel>
+makeNamedTransitionModel(const std::string &name);
+
+/** Names accepted by makeNamedTransitionModel, registry order. */
+std::vector<std::string> transitionModelNames();
+
+} // namespace morph
+
+#endif // MORPH_COUNTERS_TRANSITION_MODEL_HH

@@ -1,0 +1,33 @@
+#include "secmem/pad_auditor.hh"
+
+#include <sstream>
+
+#include "common/check.hh"
+
+namespace morph
+{
+
+void
+PadAuditor::recordEncrypt(LineAddr line, std::uint64_t counter)
+{
+    const bool fresh = used_[line].insert(counter).second;
+    if (!fresh) {
+        std::ostringstream os;
+        os << "  pad reuse: line " << line
+           << " re-encrypted under counter " << counter
+           << " — counter-mode confidentiality is broken";
+        check_detail::failCheck(__FILE__, __LINE__,
+                                "PadAuditor: (line, counter) unique",
+                                os.str());
+    }
+    ++padsIssued_;
+}
+
+void
+PadAuditor::reset()
+{
+    used_.clear();
+    padsIssued_ = 0;
+}
+
+} // namespace morph

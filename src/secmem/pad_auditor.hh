@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Pad-uniqueness audit layer for counter-mode encryption.
+ *
+ * Counter-mode security is void the moment one (line, counter) pair is
+ * used to encrypt twice: XOR of the two ciphertexts cancels the pad
+ * and leaks plaintext. The codecs' monotonicity and accountability
+ * invariants exist precisely to make that impossible — morphverify
+ * proves them on the codec state machines, and this auditor checks the
+ * end-to-end consequence inside a running SecureMemory: it records
+ * every pad issued for *encryption* and aborts on the first repeat.
+ *
+ * The OTP engine derives one pad block per 16-byte AES block, seeded
+ * with (line, counter, block). SecureMemory always encrypts whole
+ * lines, so blocks 0..3 of a line are issued together and a
+ * (line, counter) pair stands for all four (line, counter, block)
+ * tuples; recording the pair is exactly as strong as recording the
+ * tuples. Decryption legitimately re-derives a previously issued pad
+ * and is not recorded.
+ *
+ * The auditor itself is always compiled; SecureMemory only calls it
+ * when built with -DMORPH_AUDIT_PADS=ON (the `audit` CMake preset), as
+ * the per-encryption hash-set insert is pure overhead in normal runs.
+ */
+
+#ifndef MORPH_SECMEM_PAD_AUDITOR_HH
+#define MORPH_SECMEM_PAD_AUDITOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.hh"
+
+namespace morph
+{
+
+/** Records issued encryption pads and aborts on any reuse. */
+class PadAuditor
+{
+  public:
+    /**
+     * Record that @p line is being encrypted under @p counter.
+     * Panics (via MORPH_CHECK machinery) if this pair was already used
+     * for an encryption — that is a counter-reuse security violation,
+     * never a recoverable condition.
+     */
+    void recordEncrypt(LineAddr line, std::uint64_t counter);
+
+    /** Distinct (line, counter) pads issued so far. */
+    std::uint64_t padsIssued() const { return padsIssued_; }
+
+    /** Lines that have been encrypted at least once. */
+    std::uint64_t linesTracked() const
+    {
+        return std::uint64_t(used_.size());
+    }
+
+    /** Forget all recorded pads (new key / reset device). */
+    void reset();
+
+  private:
+    std::unordered_map<LineAddr, std::unordered_set<std::uint64_t>>
+        used_;
+    std::uint64_t padsIssued_ = 0;
+};
+
+} // namespace morph
+
+#endif // MORPH_SECMEM_PAD_AUDITOR_HH

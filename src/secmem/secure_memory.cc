@@ -111,6 +111,15 @@ SecureMemory::tamperCounterEntry(std::uint64_t entry_index,
     merkleEntries_[entry_index] = image;
 }
 
+void
+SecureMemory::auditEncrypt([[maybe_unused]] LineAddr line,
+                           [[maybe_unused]] std::uint64_t counter)
+{
+#ifdef MORPH_AUDIT_PADS
+    padAuditor_.recordEncrypt(line, counter);
+#endif
+}
+
 std::uint64_t
 SecureMemory::dataMac(LineAddr line, std::uint64_t counter,
                       const CachelineData &ciphertext) const
@@ -131,6 +140,7 @@ SecureMemory::materialize(LineAddr line)
     // overflow reset swept this child before its first use).
     const std::uint64_t counter = counterOf(line);
     CachelineData ciphertext{};
+    auditEncrypt(line, counter);
     otp_.xorPad(ciphertext, line, counter);
     StoredLine stored{ciphertext, dataMac(line, counter, ciphertext)};
     return store_.emplace(line, stored).first->second;
@@ -171,6 +181,7 @@ SecureMemory::writeLine(LineAddr line, const CachelineData &plaintext)
             CachelineData data = it->second.ciphertext;
             otp_.xorPad(data, child, old_counters[child - first_child]);
             const std::uint64_t fresh = counterOf(child);
+            auditEncrypt(child, fresh);
             otp_.xorPad(data, child, fresh);
             it->second.ciphertext = data;
             it->second.mac = dataMac(child, fresh, data);
@@ -179,6 +190,7 @@ SecureMemory::writeLine(LineAddr line, const CachelineData &plaintext)
     }
 
     CachelineData ciphertext = plaintext;
+    auditEncrypt(line, bump.newCounter);
     otp_.xorPad(ciphertext, line, bump.newCounter);
     StoredLine stored{ciphertext,
                       dataMac(line, bump.newCounter, ciphertext)};

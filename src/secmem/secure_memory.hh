@@ -30,6 +30,10 @@
 #include "integrity/integrity_tree.hh"
 #include "integrity/mac_tree.hh"
 
+#ifdef MORPH_AUDIT_PADS
+#include "secmem/pad_auditor.hh"
+#endif
+
 namespace morph
 {
 
@@ -138,6 +142,12 @@ class SecureMemory
     const Stats &stats() const { return stats_; }
     const SecureMemoryConfig &config() const { return config_; }
 
+#ifdef MORPH_AUDIT_PADS
+    /** Pad-uniqueness auditor (audit builds only): every encryption
+     *  pad this device has issued, CHECK-failing on any reuse. */
+    const PadAuditor &padAuditor() const { return padAuditor_; }
+#endif
+
   private:
     struct StoredLine
     {
@@ -159,6 +169,10 @@ class SecureMemory
     /** Freshness check for the counter protecting @p line. */
     bool verifyFreshness(LineAddr line);
 
+    /** Audit hook called at every *encryption* pad issue (decryption
+     *  legitimately re-derives pads). No-op unless MORPH_AUDIT_PADS. */
+    void auditEncrypt(LineAddr line, std::uint64_t counter);
+
     SecureMemoryConfig config_;
     OtpEngine otp_;
     MacEngine macEngine_;
@@ -168,6 +182,10 @@ class SecureMemory
     std::unique_ptr<CounterFormat> merkleFormat_;
     std::unordered_map<LineAddr, StoredLine> store_;
     Stats stats_;
+
+#ifdef MORPH_AUDIT_PADS
+    PadAuditor padAuditor_;
+#endif
 };
 
 } // namespace morph

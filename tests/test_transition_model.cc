@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the TransitionModel layer under tools/morphverify: the
+ * decode/encode canonicity contract, the symmetry reductions the model
+ * checker's visited set relies on, and the seed-state families.
+ */
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "common/bitfield.hh"
+#include "counters/counter_block.hh"
+#include "counters/mcr_codec.hh"
+#include "counters/transition_model.hh"
+#include "counters/zcc_codec.hh"
+
+namespace
+{
+
+using namespace morph;
+
+/** Copy of @p line with the MAC field zeroed (canonicity compares
+ *  everything but the tag). */
+CachelineData
+withoutMac(const CachelineData &line)
+{
+    CachelineData out = line;
+    for (unsigned bit = CounterFormat::macOffset; bit < lineBits;
+         bit += 64)
+        writeBits(out, bit, 64, 0);
+    return out;
+}
+
+TEST(TransitionModel, RegistryResolvesEveryName)
+{
+    const auto names = transitionModelNames();
+    ASSERT_FALSE(names.empty());
+    for (const std::string &name : names) {
+        const auto model = makeNamedTransitionModel(name);
+        ASSERT_NE(model, nullptr) << name;
+        EXPECT_EQ(model->name(), name);
+        EXPECT_GT(model->arity(), 0u) << name;
+    }
+    EXPECT_EQ(makeNamedTransitionModel("no-such-format"), nullptr);
+}
+
+TEST(TransitionModel, SeedsAreWellFormedAndCanonical)
+{
+    for (const std::string &name : transitionModelNames()) {
+        const auto model = makeNamedTransitionModel(name);
+        const auto seeds = model->seedStates();
+        ASSERT_FALSE(seeds.empty()) << name;
+        for (std::size_t s = 0; s < seeds.size(); ++s) {
+            SCOPED_TRACE(name + " seed " + std::to_string(s));
+            const CachelineData &seed = seeds[s];
+            EXPECT_TRUE(model->wellFormed(seed));
+
+            // The documented-layout decode must agree with the codec.
+            const DecodedState decoded = model->decode(seed);
+            ASSERT_EQ(decoded.arity, model->arity());
+            for (unsigned i = 0; i < decoded.arity; ++i)
+                ASSERT_EQ(decoded.effective[i],
+                          model->format().read(seed, i))
+                    << "slot " << i;
+
+            // encode(decode(s)) == s modulo the MAC field.
+            EXPECT_EQ(model->encode(decoded), withoutMac(seed));
+        }
+    }
+}
+
+TEST(TransitionModel, KeyIsInvariantUnderSlotChoice)
+{
+    // Bumping any slot of a slot-symmetric state must land on one
+    // canonical key — this is what lets the checker explore one
+    // representative per class.
+    for (const char *name : {"sc64", "sc64r", "morph"}) {
+        const auto model = makeNamedTransitionModel(name);
+        CachelineData a;
+        model->format().init(a);
+        CachelineData b = a;
+        model->bump(a, 0);
+        model->bump(b, model->arity() - 1);
+        EXPECT_EQ(model->canonicalKey(a), model->canonicalKey(b))
+            << name;
+        EXPECT_NE(model->canonicalKey(a),
+                  model->canonicalKey(model->seedStates().front()))
+            << name;
+    }
+}
+
+TEST(TransitionModel, KeyIsInvariantUnderMcrSetSwap)
+{
+    // The two 64-child MCR sets are interchangeable as wholes: a bump
+    // in set 0 and the mirrored bump in set 1 yield one key.
+    const auto model = makeNamedTransitionModel("mcr");
+    CachelineData a;
+    mcr::init(a, 0, 5);
+    CachelineData b = a;
+    model->bump(a, 2);
+    model->bump(b, 2 + mcr::setSize);
+    EXPECT_EQ(model->canonicalKey(a), model->canonicalKey(b));
+}
+
+TEST(TransitionModel, RepresentativeSlotsCoverEachClassOnce)
+{
+    const auto model = makeNamedTransitionModel("sc64");
+    CachelineData line;
+    model->format().init(line);
+
+    // All 64 minors equal: one equivalence class.
+    EXPECT_EQ(model->representativeSlots(line).size(), 1u);
+
+    // One bumped slot: two classes, distinct minor values.
+    model->bump(line, 7);
+    const auto reps = model->representativeSlots(line);
+    ASSERT_EQ(reps.size(), 2u);
+    const DecodedState s = model->decode(line);
+    EXPECT_NE(s.minors[reps[0]], s.minors[reps[1]]);
+}
+
+TEST(TransitionModel, SameClassSlotsHaveKeyIdenticalSuccessors)
+{
+    const auto model = makeNamedTransitionModel("sc64");
+    CachelineData base;
+    model->format().init(base);
+    model->bump(base, 0);
+    model->bump(base, 0);
+    model->bump(base, 1);
+    model->bump(base, 1); // slots 0 and 1 now share a class (value 2)
+
+    CachelineData via0 = base;
+    CachelineData via1 = base;
+    model->bump(via0, 0);
+    model->bump(via1, 1);
+    EXPECT_EQ(model->canonicalKey(via0), model->canonicalKey(via1));
+}
+
+TEST(TransitionModel, DecodedFieldsMatchDocumentedLayout)
+{
+    // SC-64: minors 6 bits each from bit 64, effective = major:minor.
+    const auto sc = makeNamedTransitionModel("sc64");
+    CachelineData line;
+    sc->format().init(line);
+    sc->bump(line, 5);
+    sc->bump(line, 5);
+    sc->bump(line, 5);
+    const DecodedState s = sc->decode(line);
+    EXPECT_EQ(s.rep, RepTag::Split);
+    EXPECT_EQ(s.major, 0u);
+    EXPECT_EQ(s.minors[5], 3u);
+    EXPECT_EQ(s.effective[5], 3u);
+    EXPECT_EQ(s.minors[4], 0u);
+
+    // MCR: effective = (major:base) + minor with per-set bases.
+    const auto mcr_model = makeNamedTransitionModel("mcr");
+    CachelineData dense;
+    mcr::init(dense, 7, 5);
+    mcr::setMinor(dense, 3, 2);
+    const DecodedState d = mcr_model->decode(dense);
+    EXPECT_EQ(d.rep, RepTag::Mcr);
+    EXPECT_EQ(d.major, 7u);
+    EXPECT_EQ(d.base[0], 5u);
+    EXPECT_EQ(d.minors[3], 2u);
+    EXPECT_EQ(d.effective[3], ((7u << 7) | 5u) + 2u);
+}
+
+TEST(TransitionModel, CanonicityCatchesStalePayloadBits)
+{
+    // A junk bit in the unused ZCC payload tail decodes to the same
+    // logical state but is a second bit pattern for it — exactly the
+    // aliasing encode(decode(s)) != s flags.
+    const auto model = makeNamedTransitionModel("morph");
+    CachelineData line;
+    model->format().init(line);
+    model->bump(line, 0);
+    model->bump(line, 1);
+    ASSERT_TRUE(model->encode(model->decode(line)) == withoutMac(line));
+
+    const unsigned used = zcc::count(line) * zcc::ctrSz(line);
+    ASSERT_LT(used, zcc::payloadBits);
+    setBit(line, zcc::payloadOffset + used, true);
+    EXPECT_FALSE(model->encode(model->decode(line)) == withoutMac(line));
+}
+
+TEST(TransitionModel, WellFormedRejectsCorruptZccWidth)
+{
+    // Ctr-Sz inconsistent with the live population (the §III schedule)
+    // must fail structural validation.
+    const auto model = makeNamedTransitionModel("morph");
+    CachelineData line;
+    model->format().init(line);
+    model->bump(line, 0);
+    model->bump(line, 1);
+    model->bump(line, 2);
+    ASSERT_TRUE(model->wellFormed(line));
+
+    writeBits(line, zcc::ctrSzOffset, zcc::ctrSzBits, 8);
+    EXPECT_FALSE(model->wellFormed(line));
+}
+
+TEST(TransitionModel, MorphKeyTracksMajorResidueOnly)
+{
+    // ZCC majors 128 apart are bisimilar (only major mod 128 feeds a
+    // future morph), majors 1 apart are not.
+    const auto model = makeNamedTransitionModel("morph");
+    CachelineData a, b, c;
+    zcc::init(a, 3);
+    zcc::init(b, 3 + 128);
+    zcc::init(c, 4);
+    EXPECT_EQ(model->canonicalKey(a), model->canonicalKey(b));
+    EXPECT_NE(model->canonicalKey(a), model->canonicalKey(c));
+}
+
+} // namespace

@@ -512,7 +512,9 @@ checkIniFile(Lint &lint, const std::string &path)
         "dram.write_queueing", "dram.channels", "dram.ranks",
         "lint.zcc.buckets", "lint.geometry.config",
         "lint.geometry.mem_gb", "lint.geometry.tree_levels",
-        "lint.geometry.metadata_mb",
+        "lint.geometry.metadata_mb", "lint.mcr.major_bits",
+        "lint.mcr.base_bits", "lint.mcr.minor_bits", "lint.sc.arity",
+        "lint.sc.minor_bits", "lint.morph.otp_counter_bits",
     };
     for (const std::string &key : ini.keys()) {
         bool ok = false;
@@ -572,6 +574,67 @@ checkIniFile(Lint &lint, const std::string &path)
             lint, where, ini.getString("lint.zcc.buckets"));
         if (!buckets.empty())
             checkZccBuckets(lint, buckets, where + "/zcc-buckets");
+    }
+
+    // MCR partition spec: declared field widths must match the codec
+    // constants and tile the 512-bit line exactly.
+    if (ini.has("lint.mcr.major_bits") || ini.has("lint.mcr.base_bits") ||
+        ini.has("lint.mcr.minor_bits")) {
+        const std::string w = where + "/mcr";
+        const std::uint64_t major_bits =
+            std::uint64_t(ini.getInt("lint.mcr.major_bits",
+                                     mcr::majorBits));
+        const std::uint64_t base_bits = std::uint64_t(
+            ini.getInt("lint.mcr.base_bits", mcr::baseBits));
+        const std::uint64_t minor_bits = std::uint64_t(
+            ini.getInt("lint.mcr.minor_bits", mcr::minorBits));
+        lint.expectEq(w, "declared MCR major width", mcr::majorBits,
+                      major_bits);
+        lint.expectEq(w, "declared MCR base width", mcr::baseBits,
+                      base_bits);
+        lint.expectEq(w, "declared MCR minor width", mcr::minorBits,
+                      minor_bits);
+        lint.expectEq(w, "declared MCR fields partition the line",
+                      1 + major_bits + mcr::numSets * base_bits +
+                          mcr::numCounters * minor_bits + 64,
+                      lineBits);
+    }
+
+    // SC-n layout spec: declared arity/minor width must divide the
+    // 384-bit minor field and match the codec.
+    if (ini.has("lint.sc.arity") || ini.has("lint.sc.minor_bits")) {
+        const std::string w = where + "/sc";
+        const auto arity =
+            std::uint64_t(ini.getInt("lint.sc.arity", 64));
+        if (arity == 0 || 384 % arity != 0) {
+            lint.fail(w, "declared arity " + std::to_string(arity) +
+                             " does not divide the 384-bit minor "
+                             "field");
+        } else {
+            const std::uint64_t minor_bits = std::uint64_t(
+                ini.getInt("lint.sc.minor_bits", 384 / arity));
+            lint.expectEq(w, "declared SC minor width", 384 / arity,
+                          minor_bits);
+            SplitCounterFormat format{unsigned(arity)};
+            lint.expectEq(w, "SplitCounterFormat minor width",
+                          format.minorBits(), minor_bits);
+        }
+    }
+
+    // Morph consistency spec: both representations' combined counters
+    // must fit the declared OTP seed width.
+    if (ini.has("lint.morph.otp_counter_bits")) {
+        const std::string w = where + "/morph";
+        const std::uint64_t declared = std::uint64_t(
+            ini.getInt("lint.morph.otp_counter_bits", 0));
+        lint.expectEq(w, "declared OTP counter width", otpCounterBits,
+                      declared);
+        lint.expectEq(w,
+                      "MCR major+base equals the declared OTP width",
+                      mcr::majorBits + mcr::baseBits, declared);
+        lint.expectTrue(w,
+                        "ZCC major can hold every declared-width value",
+                        declared <= zcc::majorBits);
     }
 
     if (ini.has("lint.geometry.config") ||

@@ -6,8 +6,9 @@
 #
 # Uses the compilation database exported by CMake
 # (CMAKE_EXPORT_COMPILE_COMMANDS is always on for this project). Scans
-# src/ and tools/ — tests and benches are intentionally out of scope:
-# the .clang-tidy profile targets the library's bug classes.
+# src/, tools/, and bench/ — tests are intentionally out of scope: the
+# .clang-tidy profile targets the library's bug classes, and gtest
+# macros drown it in noise.
 #
 # Exits 0 when clang-tidy reports no findings, 1 otherwise. If
 # clang-tidy is not installed (some build containers ship only gcc),
@@ -35,9 +36,9 @@ if [ ! -f "$db" ]; then
     exit 2
 fi
 
-# Gather library and tool translation units (tests/benches excluded).
+# Gather library, tool, and bench translation units (tests excluded).
 mapfile -t sources < <(find "$repo_root/src" "$repo_root/tools" \
-                            -name '*.cc' | sort)
+                            "$repo_root/bench" -name '*.cc' | sort)
 
 echo "run_tidy.sh: checking ${#sources[@]} files with $tidy_bin"
 
