@@ -1,0 +1,368 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace morph
+{
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ == Kind::Number)
+        return number_;
+    if (kind_ == Kind::Null)
+        return std::numeric_limits<double>::quiet_NaN();
+    return 0.0;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    const auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (kind_ == Kind::Array)
+        return array_.size();
+    if (kind_ == Kind::Object)
+        return keys_.size();
+    return 0;
+}
+
+/** Recursive-descent parser over an in-memory document. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string &error)
+        : text_(text), error_(error)
+    {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipSpace();
+        if (!parseValue(out, 0))
+            return false;
+        skipSpace();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    static constexpr unsigned maxDepth = 64;
+
+    bool
+    fail(const std::string &what)
+    {
+        error_ = what + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word, JsonValue &out, JsonValue::Kind kind,
+            bool bool_value)
+    {
+        const std::size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos_ += len;
+        out.kind_ = kind;
+        out.bool_ = bool_value;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected '\"'");
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+                out.push_back('"');
+                break;
+              case '\\':
+                out.push_back('\\');
+                break;
+              case '/':
+                out.push_back('/');
+                break;
+              case 'b':
+                out.push_back('\b');
+                break;
+              case 'f':
+                out.push_back('\f');
+                break;
+              case 'n':
+                out.push_back('\n');
+                break;
+              case 'r':
+                out.push_back('\r');
+                break;
+              case 't':
+                out.push_back('\t');
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int k = 0; k < 4; ++k) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        return fail("bad hex digit in \\u escape");
+                }
+                // UTF-8 encode (BMP only; no surrogate pairing).
+                if (code < 0x80) {
+                    out.push_back(char(code));
+                } else if (code < 0x800) {
+                    out.push_back(char(0xC0 | (code >> 6)));
+                    out.push_back(char(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(char(0xE0 | (code >> 12)));
+                    out.push_back(char(0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(char(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected number");
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            return fail("malformed number '" + token + "'");
+        out.kind_ = JsonValue::Kind::Number;
+        out.number_ = value;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, unsigned depth)
+    {
+        if (depth > maxDepth)
+            return fail("nesting too deep");
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        const char c = text_[pos_];
+        if (c == 'n')
+            return literal("null", out, JsonValue::Kind::Null, false);
+        if (c == 't')
+            return literal("true", out, JsonValue::Kind::Bool, true);
+        if (c == 'f')
+            return literal("false", out, JsonValue::Kind::Bool, false);
+        if (c == '"') {
+            out.kind_ = JsonValue::Kind::String;
+            return parseString(out.string_);
+        }
+        if (c == '[') {
+            ++pos_;
+            out.kind_ = JsonValue::Kind::Array;
+            skipSpace();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                JsonValue element;
+                if (!parseValue(element, depth + 1))
+                    return false;
+                out.array_.push_back(std::move(element));
+                skipSpace();
+                if (pos_ >= text_.size())
+                    return fail("unterminated array");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '{') {
+            ++pos_;
+            out.kind_ = JsonValue::Kind::Object;
+            skipSpace();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                skipSpace();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipSpace();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return fail("expected ':'");
+                ++pos_;
+                JsonValue member;
+                if (!parseValue(member, depth + 1))
+                    return false;
+                if (out.object_.find(key) == out.object_.end())
+                    out.keys_.push_back(key);
+                out.object_[key] = std::move(member);
+                skipSpace();
+                if (pos_ >= text_.size())
+                    return fail("unterminated object");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+            return parseNumber(out);
+        return fail("unexpected character");
+    }
+
+    const std::string &text_;
+    std::string &error_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue
+jsonParse(const std::string &text, bool &ok, std::string &error)
+{
+    JsonValue value;
+    JsonParser parser(text, error);
+    ok = parser.parse(value);
+    if (!ok)
+        value = JsonValue();
+    return value;
+}
+
+bool
+jsonParse(const std::string &text, JsonValue &out)
+{
+    bool ok = false;
+    std::string error;
+    out = jsonParse(text, ok, error);
+    return ok;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              unsigned(static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    // Integers (the common case for counters) print exactly; anything
+    // fractional keeps full double round-trip precision.
+    if (value == std::floor(value) && std::fabs(value) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", value);
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return buf;
+}
+
+} // namespace morph

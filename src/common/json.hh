@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal JSON value model and recursive-descent parser.
+ *
+ * morphscope exports run telemetry as JSON (stat_registry.hh) and
+ * morphbench compares BENCH_*.json files against a committed baseline;
+ * both sides of that round trip live here so exporter and parser can
+ * never drift apart. The parser accepts strict RFC 8259 JSON plus the
+ * exporter's one extension: `null` stands for a non-finite number and
+ * reads back as NaN through asNumber().
+ *
+ * This is a telemetry-sized implementation (no streaming, no comments,
+ * no \uXXXX surrogate pairs beyond the BMP) — not a general JSON
+ * library.
+ */
+
+#ifndef MORPH_COMMON_JSON_HH
+#define MORPH_COMMON_JSON_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace morph
+{
+
+/** One parsed JSON value (tree-owning). */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Number value; NaN for null (the exporter's non-finite marker),
+     *  0 for other kinds. */
+    double asNumber() const;
+
+    /** Bool value (false unless a true Bool). */
+    bool asBool() const { return kind_ == Kind::Bool && bool_; }
+
+    /** String value ("" unless a String). */
+    const std::string &asString() const { return string_; }
+
+    /** Array elements (empty unless an Array). */
+    const std::vector<JsonValue> &elements() const { return array_; }
+
+    /** Object member by key; nullptr if absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Object member names in file order (empty unless an Object). */
+    const std::vector<std::string> &keys() const { return keys_; }
+
+    /** Number of array elements or object members. */
+    std::size_t size() const;
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::vector<std::string> keys_;
+    std::map<std::string, JsonValue> object_;
+};
+
+/**
+ * Parse @p text as one JSON document.
+ *
+ * @param[out] error set to a message with offset on failure
+ * @return the parsed value, or std::nullopt-like null kind on failure
+ *         (check the return of jsonParse via @p ok)
+ */
+JsonValue jsonParse(const std::string &text, bool &ok,
+                    std::string &error);
+
+/** Convenience: parse or return false (error text discarded). */
+bool jsonParse(const std::string &text, JsonValue &out);
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** Format a double as a JSON number token; non-finite become null. */
+std::string jsonNumber(double value);
+
+} // namespace morph
+
+#endif // MORPH_COMMON_JSON_HH

@@ -44,11 +44,113 @@ Histogram::mean() const
     return count_ ? sum_ / double(count_) : 0.0;
 }
 
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    // Rank of the requested quantile within the total weight.
+    const double rank = p * double(count_);
+    double seen = 0.0;
+    for (unsigned i = 0; i < buckets_.size(); ++i) {
+        const double weight = double(buckets_[i]);
+        if (weight == 0.0)
+            continue;
+        if (seen + weight >= rank) {
+            const double within =
+                weight > 0.0 ? (rank - seen) / weight : 0.0;
+            const double width =
+                (hi_ - lo_) / double(buckets_.size());
+            return bucketLo(i) +
+                   std::clamp(within, 0.0, 1.0) * width;
+        }
+        seen += weight;
+    }
+    return hi_;
+}
+
 void
 Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
     count_ = 0;
+    sum_ = 0.0;
+}
+
+ExpHistogram::ExpHistogram(unsigned buckets) : buckets_(buckets, 0)
+{
+    MORPH_CHECK(buckets >= 2);
+}
+
+void
+ExpHistogram::record(std::uint64_t sample, std::uint64_t weight)
+{
+    unsigned idx = 0;
+    if (sample > 0) {
+        idx = 1;
+        while (idx + 1 < buckets_.size() && sample >= (1ull << idx))
+            ++idx;
+    }
+    buckets_[idx] += weight;
+    count_ += weight;
+    max_ = std::max(max_, sample);
+    sum_ += double(sample) * double(weight);
+}
+
+std::uint64_t
+ExpHistogram::bucketLo(unsigned i) const
+{
+    MORPH_CHECK_LT(i, buckets_.size());
+    return i == 0 ? 0 : 1ull << (i - 1);
+}
+
+std::uint64_t
+ExpHistogram::bucketHi(unsigned i) const
+{
+    MORPH_CHECK_LT(i, buckets_.size());
+    return i == 0 ? 1 : 1ull << i;
+}
+
+double
+ExpHistogram::mean() const
+{
+    return count_ ? sum_ / double(count_) : 0.0;
+}
+
+double
+ExpHistogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double rank = p * double(count_);
+    double seen = 0.0;
+    for (unsigned i = 0; i < buckets_.size(); ++i) {
+        const double weight = double(buckets_[i]);
+        if (weight == 0.0)
+            continue;
+        if (seen + weight >= rank) {
+            const double within =
+                std::clamp((rank - seen) / weight, 0.0, 1.0);
+            const double lo = double(bucketLo(i));
+            // The last bucket is open-ended; cap it at the largest
+            // recorded sample so outliers do not inflate the tail.
+            const double hi =
+                std::min(double(bucketHi(i)), double(max_) + 1.0);
+            return lo + within * (std::max(hi, lo + 1.0) - lo);
+        }
+        seen += weight;
+    }
+    return double(max_);
+}
+
+void
+ExpHistogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    max_ = 0;
     sum_ = 0.0;
 }
 

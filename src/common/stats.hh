@@ -50,6 +50,14 @@ class Histogram
     /** Mean of recorded samples. */
     double mean() const;
 
+    /**
+     * Value at quantile @p p (0 <= p <= 1, clamped). The weight
+     * distribution is assumed uniform within each bucket, so the
+     * result interpolates linearly between the bucket's edges. An
+     * empty histogram reports 0.
+     */
+    double percentile(double p) const;
+
     /** Reset all buckets. */
     void reset();
 
@@ -57,6 +65,61 @@ class Histogram
     double lo_, hi_;
     std::vector<std::uint64_t> buckets_;
     std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Exponential-bucket histogram for latency-like samples.
+ *
+ * Bucket 0 holds sample value 0, bucket i (i >= 1) holds samples in
+ * [2^(i-1), 2^i); samples past the last bucket clamp into it. This
+ * gives constant relative resolution over many orders of magnitude at
+ * a fixed, small footprint — the standard shape for cycle-latency
+ * distributions where p50 and p99 differ by 100x.
+ */
+class ExpHistogram
+{
+  public:
+    /** @param buckets bucket count; covers [0, 2^(buckets-1)). */
+    explicit ExpHistogram(unsigned buckets = 32);
+
+    /** Record one sample. */
+    void record(std::uint64_t sample, std::uint64_t weight = 1);
+
+    /** Total recorded weight. */
+    std::uint64_t count() const { return count_; }
+
+    /** Weight in bucket @p i. */
+    std::uint64_t bucket(unsigned i) const { return buckets_.at(i); }
+
+    /** Number of buckets. */
+    unsigned size() const { return unsigned(buckets_.size()); }
+
+    /** Lower edge of bucket @p i (0, 1, 2, 4, 8, ...). */
+    std::uint64_t bucketLo(unsigned i) const;
+
+    /** One past the highest sample representable in bucket @p i. */
+    std::uint64_t bucketHi(unsigned i) const;
+
+    /** Mean of recorded samples (exact: true sum is kept). */
+    double mean() const;
+
+    /** Largest recorded sample (exact). */
+    std::uint64_t max() const { return max_; }
+
+    /**
+     * Value at quantile @p p (0 <= p <= 1, clamped), interpolated
+     * uniformly within the winning bucket; 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Reset all buckets. */
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t max_ = 0;
     double sum_ = 0.0;
 };
 

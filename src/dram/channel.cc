@@ -75,22 +75,29 @@ Channel::RankWindow::record(Cycle act_at)
 }
 
 Cycle
-Channel::access(const DramCoord &coord, AccessType type, Cycle when)
+Channel::access(const DramCoord &coord, AccessType type, Cycle when,
+                DramAccessTiming *timing)
 {
     if (config_.writeQueueing && type == AccessType::Write) {
         // Posted write: buffered, bus-invisible until a drain.
         writeQueue_.push_back(coord);
+        if (timing) {
+            timing->submit = when;
+            timing->burstStart = when;
+            timing->complete = when;
+            timing->queued = true;
+        }
         if (writeQueue_.size() >= config_.writeQueueHigh)
             drainWrites(when);
         return when;
     }
-    const Cycle done = scheduleAccess(coord, type, when);
+    const Cycle done = scheduleAccess(coord, type, when, timing);
     return done;
 }
 
 Cycle
 Channel::scheduleAccess(const DramCoord &coord, AccessType type,
-                        Cycle when)
+                        Cycle when, DramAccessTiming *timing)
 {
     MORPH_CHECK_LT(coord.rank, config_.ranksPerChannel);
     MORPH_CHECK_LT(coord.bank, config_.banksPerRank);
@@ -136,7 +143,14 @@ Channel::scheduleAccess(const DramCoord &coord, AccessType type,
     else
         ++activity_.reads;
 
-    return data_start + config_.cpu(config_.tBURST);
+    const Cycle done = data_start + config_.cpu(config_.tBURST);
+    if (timing) {
+        timing->submit = when;
+        timing->burstStart = data_start;
+        timing->complete = done;
+        timing->queued = false;
+    }
+    return done;
 }
 
 } // namespace morph

@@ -22,6 +22,24 @@
 namespace morph
 {
 
+/**
+ * Timing detail of one scheduled access (request-lifecycle tracing).
+ *
+ * For a normally scheduled access, submit <= burstStart < complete:
+ * [submit, burstStart) is queueing plus bank preparation, [burstStart,
+ * complete) the data burst on the shared bus. A posted write under
+ * write-queueing reports queued = true with all three equal to the
+ * submit cycle (its bus activity happens later, at drain time).
+ */
+struct DramAccessTiming
+{
+    Cycle submit = 0;     ///< cycle the request entered the channel
+    Cycle burstStart = 0; ///< cycle the data burst won the bus
+    Cycle complete = 0;   ///< cycle the burst finished
+    unsigned channel = 0; ///< owning channel index
+    bool queued = false;  ///< buffered posted write, not yet issued
+};
+
 /** Per-channel activity counters (power model inputs). */
 struct ChannelActivity
 {
@@ -45,9 +63,12 @@ class Channel
     /**
      * Schedule one line access submitted at CPU cycle @p when.
      *
+     * @param timing optional out-param filled with the access's
+     *               lifecycle cycles (tracing; never affects timing)
      * @return the CPU cycle at which the data burst completes
      */
-    Cycle access(const DramCoord &coord, AccessType type, Cycle when);
+    Cycle access(const DramCoord &coord, AccessType type, Cycle when,
+                 DramAccessTiming *timing = nullptr);
 
     const ChannelActivity &activity() const { return activity_; }
     void resetActivity() { activity_ = ChannelActivity{}; }
@@ -70,7 +91,7 @@ class Channel
 
     /** Schedule one access against bank/bus resources (no queuing). */
     Cycle scheduleAccess(const DramCoord &coord, AccessType type,
-                         Cycle when);
+                         Cycle when, DramAccessTiming *timing = nullptr);
 
     /** Earliest start for @p rank at @p when, refresh applied. */
     Cycle afterRefresh(unsigned rank, Cycle when);

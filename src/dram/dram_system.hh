@@ -6,12 +6,15 @@
 #ifndef MORPH_DRAM_DRAM_SYSTEM_HH
 #define MORPH_DRAM_DRAM_SYSTEM_HH
 
+#include <string>
 #include <vector>
 
 #include "dram/channel.hh"
 
 namespace morph
 {
+
+class StatRegistry;
 
 /** The main-memory system (all channels). */
 class DramSystem
@@ -22,9 +25,12 @@ class DramSystem
     /**
      * Schedule one 64-byte access submitted at CPU cycle @p when.
      *
+     * @param timing optional lifecycle detail for tracing (channel
+     *               index, queue/burst/complete cycles)
      * @return completion CPU cycle (data burst fully transferred)
      */
-    Cycle access(LineAddr line, AccessType type, Cycle when);
+    Cycle access(LineAddr line, AccessType type, Cycle when,
+                 DramAccessTiming *timing = nullptr);
 
     /** Aggregate activity over all channels. */
     ChannelActivity totalActivity() const;
@@ -34,6 +40,15 @@ class DramSystem
 
     /** Zero all activity counters (warm-up boundary). */
     void resetActivity();
+
+    /**
+     * Register per-channel activity counters ("<prefix>.chN.*") and
+     * aggregate gauges ("<prefix>.row_hit_rate", ...) into
+     * @p registry. Pointers into the channels are held; the registry
+     * must not outlive this system.
+     */
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix) const;
 
     const DramConfig &config() const { return config_; }
 

@@ -1,5 +1,7 @@
 #include "secmem/metadata_cache.hh"
 
+#include "common/stat_registry.hh"
+
 namespace morph
 {
 
@@ -16,6 +18,41 @@ MetadataCache::levelOccupancy() const
             ++occupancy.back();
     });
     return occupancy;
+}
+
+void
+MetadataCache::registerStats(StatRegistry &registry,
+                             const std::string &prefix,
+                             bool occupancy) const
+{
+    const CacheStats &s = cache_.stats();
+    registry.counter(prefix + ".hits", &s.hits, "metadata-cache hits");
+    registry.counter(prefix + ".misses", &s.misses,
+                     "metadata-cache misses");
+    registry.counter(prefix + ".evictions", &s.evictions,
+                     "metadata-cache evictions");
+    registry.counter(prefix + ".dirty_evictions", &s.dirtyEvictions,
+                     "dirty evictions (write-back propagation)");
+    registry.gauge(
+        prefix + ".hit_rate", [&s]() { return s.hitRate(); },
+        "hits / (hits + misses)");
+    if (!occupancy)
+        return;
+    const std::size_t levels = geom_->levels().size();
+    for (std::size_t level = 0; level <= levels; ++level) {
+        const std::string name =
+            level < levels
+                ? prefix + ".occupancy.level" + std::to_string(level)
+                : prefix + ".occupancy.other";
+        registry.gauge(
+            name,
+            [this, level]() {
+                return double(levelOccupancy()[level]);
+            },
+            level < levels
+                ? "resident lines of this tree level"
+                : "resident non-metadata (MAC) lines");
+    }
 }
 
 } // namespace morph

@@ -20,6 +20,8 @@
 namespace morph
 {
 
+class StatRegistry;
+
 /** Metadata cache with per-level occupancy introspection. */
 class MetadataCache
 {
@@ -61,6 +63,17 @@ class MetadataCache
     const CacheStats &stats() const { return cache_.stats(); }
     void resetStats() { cache_.resetStats(); }
     std::size_t sizeBytes() const { return cache_.sizeBytes(); }
+
+    /**
+     * Register hit/miss/eviction counters and the hit-rate gauge into
+     * @p registry under @p prefix; with @p occupancy, per-tree-level
+     * residency gauges ("<prefix>.occupancy.levelN" plus ".other" for
+     * MAC lines) are included. Occupancy gauges walk the whole cache
+     * at sample time — reporting only, never the simulation fast path.
+     */
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix,
+                       bool occupancy = false) const;
 
     /**
      * Number of resident lines per tree level (index = level; one

@@ -2,6 +2,7 @@
 
 
 #include "common/check.hh"
+#include "common/stat_registry.hh"
 
 namespace morph
 {
@@ -29,6 +30,16 @@ SecureMemoryModel::resetStats()
 {
     stats_.reset();
     mdcache_.resetStats();
+}
+
+void
+SecureMemoryModel::registerStats(StatRegistry &registry,
+                                 const std::string &prefix,
+                                 bool occupancy) const
+{
+    const std::string scope = prefix.empty() ? "" : prefix + ".";
+    stats_.registerStats(registry, scope + "traffic");
+    mdcache_.registerStats(registry, scope + "mdcache", occupancy);
 }
 
 CachelineData &
@@ -169,6 +180,8 @@ SecureMemoryModel::bumpEntryCounter(unsigned level,
     const unsigned bin = std::min<unsigned>(level, 7);
     if (res.rebase)
         ++stats_.rebasesByLevel[bin];
+    if (res.formatSwitch)
+        ++stats_.morphsByLevel[bin];
     if (res.overflow) {
         ++stats_.overflowsByLevel[bin];
         stats_.usageAtOverflow.record(double(res.usedBefore) /
@@ -246,6 +259,8 @@ SecureMemoryModel::onDataAccess(LineAddr data_line, AccessType type,
         mdcache_.markDirty(geom_.lineOfEntry(0, index));
         if (res.rebase)
             ++stats_.rebasesByLevel[0];
+        if (res.formatSwitch)
+            ++stats_.morphsByLevel[0];
         if (res.overflow) {
             ++stats_.overflowsByLevel[0];
             stats_.usageAtOverflow.record(

@@ -103,6 +103,16 @@ class SecureMemoryModel
     const TrafficStats &stats() const { return stats_; }
     void resetStats();
 
+    /**
+     * Register traffic and metadata-cache statistics into
+     * @p registry under @p prefix ("traffic.*", "mdcache.*"). With
+     * @p occupancy, per-tree-level residency gauges are included
+     * (linear cache walks at sample time — reporting only).
+     */
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix,
+                       bool occupancy = false) const;
+
     const TreeGeometry &geometry() const { return geom_; }
     const MetadataCache &metadataCache() const { return mdcache_; }
     const SecureModelConfig &config() const { return config_; }

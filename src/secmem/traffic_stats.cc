@@ -1,5 +1,7 @@
 #include "secmem/traffic_stats.hh"
 
+#include "common/stat_registry.hh"
+
 namespace morph
 {
 
@@ -23,6 +25,28 @@ trafficName(Traffic category)
         return "MAC";
     }
     return "?";
+}
+
+const char *
+trafficKey(Traffic category)
+{
+    switch (category) {
+      case Traffic::Data:
+        return "data";
+      case Traffic::CtrEncr:
+        return "ctr_encr";
+      case Traffic::Ctr1:
+        return "ctr_1";
+      case Traffic::Ctr2:
+        return "ctr_2";
+      case Traffic::Ctr3Up:
+        return "ctr_3up";
+      case Traffic::Overflow:
+        return "overflow";
+      case Traffic::Mac:
+        return "mac";
+    }
+    return "unknown";
 }
 
 Traffic
@@ -67,6 +91,15 @@ TrafficStats::totalRebases() const
     return sum;
 }
 
+std::uint64_t
+TrafficStats::totalMorphs() const
+{
+    std::uint64_t sum = 0;
+    for (auto v : morphsByLevel)
+        sum += v;
+    return sum;
+}
+
 double
 TrafficStats::bloat() const
 {
@@ -81,6 +114,7 @@ TrafficStats::reset()
     writes.fill(0);
     overflowsByLevel.fill(0);
     rebasesByLevel.fill(0);
+    morphsByLevel.fill(0);
     usageAtOverflow.reset();
 }
 
@@ -103,6 +137,51 @@ TrafficStats::report(StatSet &out) const
             out.set("overflows.level" + std::to_string(level),
                     double(overflowsByLevel[level]));
     }
+}
+
+void
+TrafficStats::registerStats(StatRegistry &registry,
+                            const std::string &prefix) const
+{
+    for (unsigned i = 0; i < numTrafficCategories; ++i) {
+        const std::string base =
+            prefix + "." + trafficKey(Traffic(i));
+        registry.counter(base + ".reads", &reads[i],
+                         "DRAM reads in this traffic category");
+        registry.counter(base + ".writes", &writes[i],
+                         "DRAM writes in this traffic category");
+    }
+    registry.counter(
+        prefix + ".total", [this]() { return total(); },
+        "total DRAM accesses, all categories");
+    registry.gauge(
+        prefix + ".bloat", [this]() { return bloat(); },
+        "memory accesses per data access (paper Figs 5b/16)");
+    for (unsigned level = 0; level < overflowsByLevel.size();
+         ++level) {
+        const std::string suffix = ".level" + std::to_string(level);
+        registry.counter(prefix + ".overflows" + suffix,
+                         &overflowsByLevel[level],
+                         "overflow resets at this tree level");
+        registry.counter(prefix + ".rebases" + suffix,
+                         &rebasesByLevel[level],
+                         "MCR rebases at this tree level");
+        registry.counter(prefix + ".morphs" + suffix,
+                         &morphsByLevel[level],
+                         "representation switches at this tree level");
+    }
+    registry.counter(
+        prefix + ".overflows.total",
+        [this]() { return totalOverflows(); },
+        "overflow resets, all levels");
+    registry.counter(
+        prefix + ".rebases.total", [this]() { return totalRebases(); },
+        "MCR rebases, all levels");
+    registry.counter(
+        prefix + ".morphs.total", [this]() { return totalMorphs(); },
+        "representation switches, all levels");
+    registry.histogram(prefix + ".usage_at_overflow", &usageAtOverflow,
+                       "counter-usage fraction at overflow (Fig 7)");
 }
 
 } // namespace morph

@@ -52,6 +52,7 @@ Core::markMeasurementStart()
 {
     baseClock_ = clock_;
     baseInstructions_ = instructions_;
+    baseAccesses_ = accesses_;
 }
 
 } // namespace morph

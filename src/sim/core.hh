@@ -68,6 +68,12 @@ class Core
         return instructions_ - baseInstructions_;
     }
 
+    /** Data accesses since the measurement baseline. */
+    std::uint64_t measuredAccesses() const
+    {
+        return accesses_ - baseAccesses_;
+    }
+
     /** Cycles since the measurement baseline. */
     Cycle measuredCycles() const { return clock_ - baseClock_; }
 
@@ -85,6 +91,7 @@ class Core
     std::uint64_t accesses_ = 0;
     Cycle baseClock_ = 0;
     std::uint64_t baseInstructions_ = 0;
+    std::uint64_t baseAccesses_ = 0;
 
     /** Outstanding reads: (instruction position, completion cycle). */
     std::deque<std::pair<std::uint64_t, Cycle>> outstanding_;

@@ -1,0 +1,42 @@
+#include "sim/morphscope.hh"
+
+#include <fstream>
+
+namespace morph
+{
+
+bool
+MorphScope::writeStatsJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    morph::writeStatsJson(out, registry_, meta,
+                          epochs_.active() ? &epochs_ : nullptr);
+    return bool(out);
+}
+
+bool
+MorphScope::writeStatsCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    morph::writeStatsCsv(out, registry_,
+                         epochs_.active() ? &epochs_ : nullptr);
+    return bool(out);
+}
+
+bool
+MorphScope::writeTrace(const std::string &path) const
+{
+    return trace_.writeTo(path);
+}
+
+void
+MorphScope::dumpText(std::ostream &os, const std::string &prefix) const
+{
+    registry_.dumpText(os, prefix);
+}
+
+} // namespace morph

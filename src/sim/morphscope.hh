@@ -1,0 +1,91 @@
+/**
+ * @file
+ * MorphScope: the per-run observability context.
+ *
+ * Bundles the three morphscope surfaces — the stat registry, the
+ * epoch time series, and the request-lifecycle trace — plus run
+ * metadata, and owns their export paths. A scope is created by the
+ * caller (morphsim, morphbench, tests), handed to the run entry
+ * points in sim/simulator.hh, and read back after the run:
+ *
+ *   MorphScope scope({.epochAccesses = 50'000,
+ *                     .traceSampleEvery = 64});
+ *   SimResult r = runByName("mcf", secmem, options, &scope);
+ *   scope.writeStatsJson("out.json");
+ *   scope.writeTrace("trace.json");
+ *
+ * The runner registers every component's stats into the registry,
+ * samples an epoch every `epochAccesses` per-core accesses of the
+ * measured window, traces 1-in-`traceSampleEvery` data accesses, and
+ * freezes the registry before the simulated system is destroyed — a
+ * scope returned from a run entry point is always safe to export.
+ */
+
+#ifndef MORPH_SIM_MORPHSCOPE_HH
+#define MORPH_SIM_MORPHSCOPE_HH
+
+#include <string>
+
+#include "common/stat_registry.hh"
+#include "common/trace_log.hh"
+
+namespace morph
+{
+
+/** What the scope observes (all observation is off by default). */
+struct ScopeConfig
+{
+    /** Epoch length in measured accesses per core; 0 disables the
+     *  time series. */
+    std::uint64_t epochAccesses = 0;
+
+    /** Trace every Nth data access (1 = all); 0 disables tracing. */
+    std::uint64_t traceSampleEvery = 0;
+
+    /** Register per-level metadata-cache occupancy gauges. */
+    bool occupancy = false;
+};
+
+/** Observability context of one simulation run. */
+class MorphScope
+{
+  public:
+    explicit MorphScope(const ScopeConfig &config = ScopeConfig{})
+        : config_(config)
+    {}
+
+    const ScopeConfig &config() const { return config_; }
+    bool tracing() const { return config_.traceSampleEvery > 0; }
+
+    StatRegistry &registry() { return registry_; }
+    const StatRegistry &registry() const { return registry_; }
+    EpochSeries &epochs() { return epochs_; }
+    const EpochSeries &epochs() const { return epochs_; }
+    TraceLog &trace() { return trace_; }
+    const TraceLog &trace() const { return trace_; }
+
+    /** Run metadata exported into the JSON "meta" object. */
+    RunMeta meta;
+
+    /** Write the morphscope JSON document; false on I/O failure. */
+    bool writeStatsJson(const std::string &path) const;
+
+    /** Write the epoch (or totals) CSV; false on I/O failure. */
+    bool writeStatsCsv(const std::string &path) const;
+
+    /** Write the Chrome trace; false on I/O failure. */
+    bool writeTrace(const std::string &path) const;
+
+    /** Print the text report ("prefix.name value" lines). */
+    void dumpText(std::ostream &os, const std::string &prefix) const;
+
+  private:
+    ScopeConfig config_;
+    StatRegistry registry_;
+    EpochSeries epochs_;
+    TraceLog trace_;
+};
+
+} // namespace morph
+
+#endif // MORPH_SIM_MORPHSCOPE_HH

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/log.hh"
+#include "workloads/trace_file.hh"
 
 namespace morph
 {
@@ -39,7 +40,8 @@ namespace
 SimResult
 runTraces(const std::string &name,
           std::vector<std::unique_ptr<TraceSource>> traces,
-          const SecureModelConfig &secmem, const SimOptions &options)
+          const SecureModelConfig &secmem, const SimOptions &options,
+          MorphScope *scope)
 {
     SystemConfig config;
     config.secmem = secmem;
@@ -48,10 +50,29 @@ runTraces(const std::string &name,
     config.numCores = unsigned(traces.size());
 
     SimSystem system(config, std::move(traces));
+    system.attachScope(scope);
+
     if (options.warmupPerCore > 0)
         system.run(options.warmupPerCore);
     system.startMeasurement();
-    system.run(options.accessesPerCore);
+
+    const std::uint64_t epoch =
+        scope ? scope->config().epochAccesses : 0;
+    if (epoch > 0) {
+        // Epoch-sampled measurement: run in epoch-sized chunks and
+        // record counter deltas after each, so per-epoch deltas sum
+        // exactly to the run totals (the final chunk may be short).
+        scope->epochs().baseline(scope->registry());
+        std::uint64_t remaining = options.accessesPerCore;
+        while (remaining > 0) {
+            const std::uint64_t chunk = std::min(epoch, remaining);
+            system.run(chunk);
+            scope->epochs().sample(scope->registry(), chunk);
+            remaining -= chunk;
+        }
+    } else {
+        system.run(options.accessesPerCore);
+    }
 
     SimResult result;
     result.workload = name;
@@ -68,6 +89,35 @@ runTraces(const std::string &name,
     result.energy = computeEnergy(
         energy_params, result.dram, result.cycles, dram.cpuFreqHz,
         dram.channels * dram.ranksPerChannel);
+
+    if (scope) {
+        // Post-run scalars: registered after the epoch baseline, so
+        // they appear in the totals but not in the time series.
+        StatRegistry &reg = scope->registry();
+        reg.scalar("energy.exec_seconds", result.energy.seconds,
+                   "measured execution time");
+        reg.scalar("energy.dram_joules", result.energy.dramJ,
+                   "DRAM energy over the measured interval");
+        reg.scalar("energy.system_joules", result.energy.systemJ,
+                   "system energy over the measured interval");
+        reg.scalar("energy.system_watts", result.energy.systemPowerW,
+                   "average system power");
+        reg.scalar("energy.edp", result.energy.edp,
+                   "energy-delay product");
+
+        scope->meta.set("workload", name);
+        scope->meta.set("config", secmem.tree.name);
+        scope->meta.set("accesses_per_core",
+                        std::to_string(options.accessesPerCore));
+        scope->meta.set("warmup_per_core",
+                        std::to_string(options.warmupPerCore));
+        scope->meta.set("seed", std::to_string(options.seed));
+        scope->meta.set("timing", options.timing ? "true" : "false");
+
+        // The registry points into `system`, which dies with this
+        // frame; materialize every value so the scope outlives it.
+        reg.freeze();
+    }
     return result;
 }
 
@@ -77,7 +127,7 @@ constexpr unsigned numCores = 4;
 
 SimResult
 runWorkload(const WorkloadSpec &workload, const SecureModelConfig &secmem,
-            const SimOptions &options)
+            const SimOptions &options, MorphScope *scope)
 {
     std::vector<std::unique_ptr<TraceSource>> traces;
     traces.reserve(numCores);
@@ -86,12 +136,13 @@ runWorkload(const WorkloadSpec &workload, const SecureModelConfig &secmem,
                                            secmem.memBytes,
                                            options.seed,
                                            options.footprintScale));
-    return runTraces(workload.name, std::move(traces), secmem, options);
+    return runTraces(workload.name, std::move(traces), secmem,
+                     options, scope);
 }
 
 SimResult
 runMix(const MixSpec &mix, const SecureModelConfig &secmem,
-       const SimOptions &options)
+       const SimOptions &options, MorphScope *scope)
 {
     std::vector<std::unique_ptr<TraceSource>> traces;
     traces.reserve(numCores);
@@ -105,19 +156,31 @@ runMix(const MixSpec &mix, const SecureModelConfig &secmem,
                                            options.seed,
                                            options.footprintScale));
     }
-    return runTraces(mix.name, std::move(traces), secmem, options);
+    return runTraces(mix.name, std::move(traces), secmem, options,
+                     scope);
 }
 
 SimResult
 runByName(const std::string &name, const SecureModelConfig &secmem,
-          const SimOptions &options)
+          const SimOptions &options, MorphScope *scope)
 {
     if (const WorkloadSpec *spec = findWorkload(name))
-        return runWorkload(*spec, secmem, options);
+        return runWorkload(*spec, secmem, options, scope);
     for (const MixSpec &mix : mixTable())
         if (mix.name == name)
-            return runMix(mix, secmem, options);
+            return runMix(mix, secmem, options, scope);
     fatal("unknown workload or mix: %s", name.c_str());
+}
+
+SimResult
+runTraceFile(const std::string &path, const SecureModelConfig &secmem,
+             const SimOptions &options, MorphScope *scope)
+{
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    traces.reserve(numCores);
+    for (unsigned core = 0; core < numCores; ++core)
+        traces.push_back(std::make_unique<FileTraceSource>(path));
+    return runTraces(path, std::move(traces), secmem, options, scope);
 }
 
 std::vector<std::string>

@@ -68,19 +68,38 @@ struct SimResult
     double bloat() const { return traffic.bloat(); }
 };
 
-/** Simulate @p workload (rate mode: all cores run copies). */
+/**
+ * Simulate @p workload (rate mode: all cores run copies).
+ *
+ * When @p scope is non-null, every component's statistics register
+ * into its registry, the measured window is sampled into its epoch
+ * series (ScopeConfig::epochAccesses), sampled accesses trace into
+ * its trace log, and the registry is frozen before return — the scope
+ * is safe to export after the call.
+ */
 SimResult runWorkload(const WorkloadSpec &workload,
                       const SecureModelConfig &secmem,
-                      const SimOptions &options);
+                      const SimOptions &options,
+                      MorphScope *scope = nullptr);
 
-/** Simulate a 4-core mix. */
+/** Simulate a 4-core mix. @copydetails runWorkload */
 SimResult runMix(const MixSpec &mix, const SecureModelConfig &secmem,
-                 const SimOptions &options);
+                 const SimOptions &options,
+                 MorphScope *scope = nullptr);
 
-/** Simulate a workload or mix by name (fatal if unknown). */
+/** Simulate a workload or mix by name (fatal if unknown).
+ *  @copydetails runWorkload */
 SimResult runByName(const std::string &name,
                     const SecureModelConfig &secmem,
-                    const SimOptions &options);
+                    const SimOptions &options,
+                    MorphScope *scope = nullptr);
+
+/** Simulate a trace file (every core replays a copy; fatal if the
+ *  file cannot be parsed). @copydetails runWorkload */
+SimResult runTraceFile(const std::string &path,
+                       const SecureModelConfig &secmem,
+                       const SimOptions &options,
+                       MorphScope *scope = nullptr);
 
 /** All 28 evaluation targets: 16 SPEC + 6 mixes + 6 GAP, the paper's
  *  Fig 15 x-axis order. */

@@ -1,6 +1,7 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/log.hh"
 
@@ -29,16 +30,70 @@ SimSystem::step(Core &core)
     scratch_.clear();
     secmem_.onDataAccess(entry.line, entry.type, scratch_);
 
-    Cycle done = core.clock();
+    const bool traced = takeTraceSample();
+    const Cycle start = core.clock();
+    Cycle done = start;
     if (config_.timing) {
         for (const MemAccess &access : scratch_) {
+            DramAccessTiming timing;
             const Cycle finish =
-                dram_.access(access.line, access.type, core.clock());
+                dram_.access(access.line, access.type, core.clock(),
+                             traced ? &timing : nullptr);
             if (access.critical)
                 done = std::max(done, finish);
+            if (traced)
+                traceDramAccess(core, access, timing);
         }
+        if (measuring_ && entry.type == AccessType::Read)
+            readLatency_.record(done - start);
     }
+    if (traced)
+        traceEntryDone(core, entry, start, done);
     core.completeEntry(entry, done);
+}
+
+bool
+SimSystem::takeTraceSample()
+{
+    if (!scope_ || !measuring_ || !scope_->tracing())
+        return false;
+    return ++traceTick_ % scope_->config().traceSampleEvery == 0;
+}
+
+void
+SimSystem::traceDramAccess(const Core &core, const MemAccess &access,
+                           const DramAccessTiming &timing)
+{
+    TraceLog &trace = scope_->trace();
+    // Walk span on the requesting core's track: one per generated
+    // access, named by traffic category.
+    const char *cat =
+        access.category == Traffic::Data ? "data" : "walk";
+    trace.complete(trafficKey(access.category), cat, core.id(),
+                   timing.submit, timing.complete - timing.submit,
+                   access.line);
+    // Service spans on the owning channel's track: full occupancy
+    // (queue + service) and the data burst nested inside it.
+    const std::uint32_t tid = channelTidBase + timing.channel;
+    trace.complete(access.type == AccessType::Read ? "rd" : "wr",
+                   "dram", tid, timing.submit,
+                   timing.complete - timing.submit, access.line);
+    if (!timing.queued && timing.burstStart > timing.submit)
+        trace.complete("burst", "dram", tid, timing.burstStart,
+                       timing.complete - timing.burstStart,
+                       access.line);
+}
+
+void
+SimSystem::traceEntryDone(const Core &core, const TraceEntry &entry,
+                          Cycle start, Cycle done)
+{
+    TraceLog &trace = scope_->trace();
+    const bool read = entry.type == AccessType::Read;
+    trace.complete(read ? "read" : "write", "access", core.id(),
+                   start, done - start, entry.line);
+    if (read)
+        trace.instant("verify", "access", core.id(), done);
 }
 
 void
@@ -81,6 +136,74 @@ SimSystem::startMeasurement()
     dram_.resetActivity();
     for (auto &core : cores_)
         core.markMeasurementStart();
+    readLatency_.reset();
+    measuring_ = true;
+}
+
+void
+SimSystem::attachScope(MorphScope *scope)
+{
+    scope_ = scope;
+    if (!scope_)
+        return;
+    StatRegistry &reg = scope_->registry();
+
+    reg.gauge(
+        "sim.ipc", [this]() { return aggregateIpc(); },
+        "sum of per-core IPCs over the measured interval");
+    reg.counter(
+        "sim.cycles", [this]() { return measuredCycles(); },
+        "longest measured per-core cycle count");
+    reg.counter(
+        "sim.instructions",
+        [this]() { return measuredInstructions(); },
+        "measured instructions across all cores");
+
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        const Core *core = &cores_[i];
+        const std::string prefix = "core" + std::to_string(i);
+        reg.counter(
+            prefix + ".instructions",
+            [core]() { return core->measuredInstructions(); },
+            "measured instructions");
+        reg.counter(
+            prefix + ".cycles",
+            [core]() { return core->measuredCycles(); },
+            "measured cycles");
+        reg.counter(
+            prefix + ".accesses",
+            [core]() { return core->measuredAccesses(); },
+            "measured data accesses");
+    }
+
+    secmem_.registerStats(reg, "", scope_->config().occupancy);
+
+    reg.gauge(
+        "overflows.per_million",
+        [this]() {
+            const TrafficStats &s = secmem_.stats();
+            const double data = double(s.accesses(Traffic::Data));
+            if (data == 0.0)
+                return 0.0;
+            return double(s.totalOverflows()) * 1e6 / data;
+        },
+        "overflow resets per million data accesses");
+
+    dram_.registerStats(reg, "dram");
+
+    if (config_.timing)
+        reg.histogram("latency.read_cycles", &readLatency_,
+                      "end-to-end read latency in CPU cycles");
+
+    if (scope_->tracing()) {
+        TraceLog &trace = scope_->trace();
+        for (std::size_t i = 0; i < cores_.size(); ++i)
+            trace.nameTrack(std::uint32_t(i),
+                            "core" + std::to_string(i));
+        for (unsigned ch = 0; ch < dram_.config().channels; ++ch)
+            trace.nameTrack(channelTidBase + ch,
+                            "dram.ch" + std::to_string(ch));
+    }
 }
 
 double

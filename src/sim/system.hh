@@ -19,6 +19,7 @@
 #include "dram/dram_system.hh"
 #include "secmem/secure_memory_model.hh"
 #include "sim/core.hh"
+#include "sim/morphscope.hh"
 
 namespace morph
 {
@@ -55,6 +56,16 @@ class SimSystem
     /** End warm-up: zero statistics, snapshot per-core baselines. */
     void startMeasurement();
 
+    /**
+     * Attach a morphscope observability context: registers every
+     * component's statistics (sim.*, coreN.*, traffic.*, mdcache.*,
+     * dram.*, latency.*) into its registry, names its trace tracks,
+     * and — when tracing is enabled — emits lifecycle spans for
+     * 1-in-N measured data accesses. The scope must outlive this
+     * system (or the registry be frozen before destruction).
+     */
+    void attachScope(MorphScope *scope);
+
     /** Sum of per-core IPCs over the measured interval. */
     double aggregateIpc() const;
 
@@ -73,6 +84,14 @@ class SimSystem
 
   private:
     void step(Core &core);
+    bool takeTraceSample();
+    void traceDramAccess(const Core &core, const MemAccess &access,
+                         const DramAccessTiming &timing);
+    void traceEntryDone(const Core &core, const TraceEntry &entry,
+                        Cycle start, Cycle done);
+
+    /** Trace tracks 16+ belong to DRAM channels (0..15 to cores). */
+    static constexpr std::uint32_t channelTidBase = 16;
 
     SystemConfig config_;
     std::vector<std::unique_ptr<TraceSource>> traces_;
@@ -80,6 +99,11 @@ class SimSystem
     SecureMemoryModel secmem_;
     DramSystem dram_;
     std::vector<MemAccess> scratch_;
+
+    MorphScope *scope_ = nullptr;
+    bool measuring_ = false;
+    std::uint64_t traceTick_ = 0;
+    ExpHistogram readLatency_; ///< end-to-end read latency, cycles
 };
 
 } // namespace morph

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the minimal JSON value model, parser, and emit
+ * helpers in common/json — the foundation every morphscope exporter
+ * and the morphbench comparator share.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/json.hh"
+
+namespace morph
+{
+namespace
+{
+
+JsonValue
+parseOk(const std::string &text)
+{
+    bool ok = false;
+    std::string error;
+    JsonValue value = jsonParse(text, ok, error);
+    EXPECT_TRUE(ok) << error;
+    return value;
+}
+
+void
+expectParseFails(const std::string &text)
+{
+    JsonValue out;
+    EXPECT_FALSE(jsonParse(text, out)) << "accepted: " << text;
+}
+
+TEST(JsonParser, Scalars)
+{
+    EXPECT_TRUE(parseOk("null").isNull());
+    EXPECT_TRUE(parseOk("true").asBool());
+    EXPECT_FALSE(parseOk("false").asBool());
+    EXPECT_DOUBLE_EQ(parseOk("42").asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(parseOk("-3.5e2").asNumber(), -350.0);
+    EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonParser, NumbersRoundTripExactly)
+{
+    // Counter values near 2^53 and full-precision doubles must
+    // survive emit -> parse unchanged.
+    for (const double v : {0.0, 1.0, 1e15 - 1, 0.1, 2.9404499999999998,
+                           -123456789.25}) {
+        const JsonValue parsed = parseOk(jsonNumber(v));
+        EXPECT_DOUBLE_EQ(parsed.asNumber(), v);
+    }
+}
+
+TEST(JsonParser, NonFiniteEmitsNullParsesToNaN)
+{
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+    EXPECT_EQ(jsonNumber(HUGE_VAL), "null");
+    const JsonValue v = parseOk("null");
+    EXPECT_TRUE(std::isnan(v.asNumber()));
+}
+
+TEST(JsonParser, NestedStructure)
+{
+    const JsonValue doc = parseOk(
+        "{\"a\": [1, 2, {\"b\": true}], \"c\": {\"d\": null}}");
+    ASSERT_TRUE(doc.isObject());
+    const JsonValue *a = doc.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->size(), 3u);
+    EXPECT_DOUBLE_EQ(a->elements()[1].asNumber(), 2.0);
+    EXPECT_TRUE(a->elements()[2].find("b")->asBool());
+    EXPECT_TRUE(doc.find("c")->find("d")->isNull());
+    EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParser, ObjectPreservesKeyOrder)
+{
+    const JsonValue doc = parseOk("{\"z\": 1, \"a\": 2, \"m\": 3}");
+    const auto &keys = doc.keys();
+    ASSERT_EQ(keys.size(), 3u);
+    EXPECT_EQ(keys[0], "z");
+    EXPECT_EQ(keys[1], "a");
+    EXPECT_EQ(keys[2], "m");
+}
+
+TEST(JsonParser, StringEscapes)
+{
+    EXPECT_EQ(parseOk("\"a\\\"b\\\\c\\n\\t\"").asString(),
+              "a\"b\\c\n\t");
+    EXPECT_EQ(parseOk("\"\\u0041\\u00e9\"").asString(), "A\xc3\xa9");
+}
+
+TEST(JsonParser, EscapeRoundTrip)
+{
+    const std::string nasty = "he said \"hi\"\n\tpath\\x\x01end";
+    const JsonValue parsed =
+        parseOk("\"" + jsonEscape(nasty) + "\"");
+    EXPECT_EQ(parsed.asString(), nasty);
+}
+
+TEST(JsonParser, RejectsMalformedDocuments)
+{
+    expectParseFails("");
+    expectParseFails("{");
+    expectParseFails("[1, 2");
+    expectParseFails("{\"a\": }");
+    expectParseFails("{\"a\": 1,}");  // no trailing commas... in keys
+    expectParseFails("\"unterminated");
+    expectParseFails("tru");
+    expectParseFails("1 2");          // trailing characters
+    expectParseFails("{a: 1}");       // unquoted key
+    expectParseFails("1.2.3");
+}
+
+TEST(JsonParser, RejectsPathologicalNesting)
+{
+    std::string deep;
+    for (int i = 0; i < 200; ++i)
+        deep += "[";
+    expectParseFails(deep);
+}
+
+TEST(JsonParser, WhitespaceTolerant)
+{
+    const JsonValue doc =
+        parseOk("  {\r\n\t\"k\" :\n [ 1 ,\t2 ]\n}  ");
+    EXPECT_EQ(doc.find("k")->size(), 2u);
+}
+
+} // namespace
+} // namespace morph

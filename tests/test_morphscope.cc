@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Integration tests for morphscope: a real (small) simulation run
+ * with epoch sampling and lifecycle tracing attached, validating the
+ * cross-cutting guarantees the exporters advertise — epoch counter
+ * deltas sum to run totals, the JSON document matches the registry,
+ * the trace is loadable Chrome trace_event JSON with nested walk and
+ * DRAM events, and latency percentiles are ordered.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/json.hh"
+#include "sim/simulator.hh"
+
+namespace morph
+{
+namespace
+{
+
+/** One shared small run: mcf/morph, 3 epochs' worth of accesses. */
+class MorphScopeRun : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        ScopeConfig config;
+        config.epochAccesses = 2000;
+        config.traceSampleEvery = 8;
+        config.occupancy = true;
+        scope_ = new MorphScope(config);
+
+        SecureModelConfig secmem;
+        secmem.tree = TreeConfig::morph();
+        SimOptions options;
+        options.accessesPerCore = 5000; // 2000+2000+1000: short tail
+        options.warmupPerCore = 1000;
+        result_ = new SimResult(
+            runByName("mcf", secmem, options, scope_));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete result_;
+        delete scope_;
+        scope_ = nullptr;
+        result_ = nullptr;
+    }
+
+    static MorphScope *scope_;
+    static SimResult *result_;
+};
+
+MorphScope *MorphScopeRun::scope_ = nullptr;
+SimResult *MorphScopeRun::result_ = nullptr;
+
+TEST_F(MorphScopeRun, RegistryMatchesSimResult)
+{
+    const StatRegistry &reg = scope_->registry();
+    EXPECT_DOUBLE_EQ(reg.value("sim.ipc"), result_->ipc);
+    EXPECT_DOUBLE_EQ(reg.value("sim.cycles"),
+                     double(result_->cycles));
+    EXPECT_DOUBLE_EQ(reg.value("traffic.data.reads"),
+                     double(result_->traffic.reads[0]));
+    EXPECT_DOUBLE_EQ(reg.value("traffic.bloat"), result_->bloat());
+    EXPECT_DOUBLE_EQ(reg.value("overflows.per_million"),
+                     result_->overflowsPerMillion());
+    EXPECT_DOUBLE_EQ(reg.value("mdcache.hits"),
+                     double(result_->metadataCache.hits));
+    EXPECT_DOUBLE_EQ(reg.value("dram.reads"),
+                     double(result_->dram.reads));
+    // Occupancy gauges were requested and froze to sane values.
+    EXPECT_TRUE(reg.has("mdcache.occupancy.level0"));
+    EXPECT_GE(reg.value("mdcache.occupancy.level0"), 0.0);
+}
+
+TEST_F(MorphScopeRun, EpochDeltasSumToTotals)
+{
+    const StatRegistry &reg = scope_->registry();
+    const EpochSeries &epochs = scope_->epochs();
+    ASSERT_TRUE(epochs.active());
+    ASSERT_EQ(epochs.records().size(), 3u); // 2000, 2000, 1000
+    EXPECT_EQ(epochs.records().back().accessesPerCore, 1000u);
+
+    for (std::size_t i = 0; i < epochs.numStats(); ++i) {
+        if (reg.scalarKind(i) != StatKind::Counter)
+            continue;
+        double delta_sum = 0.0;
+        for (const auto &record : epochs.records())
+            delta_sum += record.values[i];
+        EXPECT_DOUBLE_EQ(delta_sum, reg.scalarValue(i))
+            << "counter " << reg.scalarName(i);
+    }
+}
+
+TEST_F(MorphScopeRun, JsonDocumentTotalsEqualRegistry)
+{
+    std::ostringstream os;
+    writeStatsJson(os, scope_->registry(), scope_->meta,
+                   &scope_->epochs());
+    bool ok = false;
+    std::string error;
+    const JsonValue doc = jsonParse(os.str(), ok, error);
+    ASSERT_TRUE(ok) << error;
+
+    EXPECT_EQ(doc.find("meta")->find("workload")->asString(), "mcf");
+    const JsonValue *totals = doc.find("totals");
+    ASSERT_NE(totals, nullptr);
+    const StatRegistry &reg = scope_->registry();
+    EXPECT_EQ(totals->size(), reg.numScalars());
+    for (std::size_t i = 0; i < reg.numScalars(); ++i) {
+        const JsonValue *v = totals->find(reg.scalarName(i));
+        ASSERT_NE(v, nullptr) << reg.scalarName(i);
+        const double expected = reg.scalarValue(i);
+        if (std::isnan(expected))
+            EXPECT_TRUE(std::isnan(v->asNumber()));
+        else
+            EXPECT_DOUBLE_EQ(v->asNumber(), expected)
+                << reg.scalarName(i);
+    }
+}
+
+TEST_F(MorphScopeRun, LatencyPercentilesAreOrdered)
+{
+    const StatRegistry &reg = scope_->registry();
+    ASSERT_TRUE(reg.has("latency.read_cycles"));
+    HistogramSnapshot snap;
+    for (std::size_t i = 0; i < reg.numHistograms(); ++i)
+        if (reg.histogramName(i) == "latency.read_cycles")
+            snap = reg.histogramSnapshot(i);
+    EXPECT_GT(snap.count, 0u);
+    EXPECT_GT(snap.p50, 0.0);
+    EXPECT_LE(snap.p50, snap.p95);
+    EXPECT_LE(snap.p95, snap.p99);
+}
+
+TEST_F(MorphScopeRun, TraceIsLoadableAndNested)
+{
+    std::ostringstream os;
+    scope_->trace().write(os);
+    bool ok = false;
+    std::string error;
+    const JsonValue doc = jsonParse(os.str(), ok, error);
+    ASSERT_TRUE(ok) << error;
+
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_GT(events->size(), 0u);
+
+    bool saw_access = false, saw_walk = false, saw_dram = false;
+    bool saw_verify = false, saw_track_name = false;
+    for (const JsonValue &event : events->elements()) {
+        const std::string ph = event.find("ph")->asString();
+        if (ph == "M") {
+            saw_track_name = true;
+            continue;
+        }
+        const JsonValue *cat = event.find("cat");
+        ASSERT_NE(cat, nullptr);
+        if (ph == "i" && cat->asString() == "access")
+            saw_verify = true;
+        if (ph != "X")
+            continue;
+        const double ts = event.find("ts")->asNumber();
+        const double dur = event.find("dur")->asNumber();
+        EXPECT_GE(ts, 0.0);
+        EXPECT_GE(dur, 0.0);
+        if (cat->asString() == "access")
+            saw_access = true;
+        if (cat->asString() == "walk")
+            saw_walk = true;
+        if (cat->asString() == "dram")
+            saw_dram = true;
+    }
+    EXPECT_TRUE(saw_access);
+    EXPECT_TRUE(saw_walk);  // tree-walk spans nested under accesses
+    EXPECT_TRUE(saw_dram);  // channel service spans
+    EXPECT_TRUE(saw_verify);
+    EXPECT_TRUE(saw_track_name);
+}
+
+TEST(MorphScopeExports, WriteFailuresReportFalse)
+{
+    MorphScope scope;
+    EXPECT_FALSE(scope.writeStatsJson("/nonexistent-dir/x.json"));
+    EXPECT_FALSE(scope.writeStatsCsv("/nonexistent-dir/x.csv"));
+    EXPECT_FALSE(scope.writeTrace("/nonexistent-dir/x.json"));
+}
+
+TEST(MorphScopeExports, NonTimingRunStillExports)
+{
+    ScopeConfig config;
+    config.epochAccesses = 1000;
+    MorphScope scope(config);
+    SecureModelConfig secmem;
+    secmem.tree = TreeConfig::sc64();
+    SimOptions options;
+    options.accessesPerCore = 2000;
+    options.warmupPerCore = 0;
+    options.timing = false;
+    runByName("libquantum", secmem, options, &scope);
+
+    // No timing: no latency histogram, but traffic stats and epochs
+    // still work.
+    EXPECT_FALSE(scope.registry().has("latency.read_cycles"));
+    EXPECT_GT(scope.registry().value("traffic.total"), 0.0);
+    EXPECT_EQ(scope.epochs().records().size(), 2u);
+
+    std::ostringstream os;
+    writeStatsJson(os, scope.registry(), scope.meta, &scope.epochs());
+    JsonValue doc;
+    EXPECT_TRUE(jsonParse(os.str(), doc));
+}
+
+} // namespace
+} // namespace morph

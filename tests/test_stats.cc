@@ -75,6 +75,95 @@ TEST(Histogram, ResetClears)
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
+TEST(Histogram, PercentileEmptyIsZero)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+}
+
+TEST(Histogram, PercentileClampsArgument)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.record(0.6);
+    // Out-of-range p clamps to [0, 1] rather than misbehaving.
+    EXPECT_DOUBLE_EQ(h.percentile(-1.0), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+}
+
+TEST(Histogram, PercentileInterpolatesWithinBucket)
+{
+    Histogram h(0.0, 1.0, 4);
+    for (int i = 0; i < 100; ++i)
+        h.record(0.3); // all mass in bucket [0.25, 0.5)
+    // The median of a single uniform bucket is its midpoint.
+    EXPECT_NEAR(h.percentile(0.5), 0.375, 1e-9);
+    EXPECT_GE(h.percentile(0.99), h.percentile(0.5));
+}
+
+TEST(Histogram, PercentilesAreMonotone)
+{
+    Histogram h(0.0, 100.0, 20);
+    for (int i = 0; i < 1000; ++i)
+        h.record(double(i % 100));
+    const double p50 = h.percentile(0.50);
+    const double p95 = h.percentile(0.95);
+    const double p99 = h.percentile(0.99);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_NEAR(p50, 50.0, 5.0);
+    EXPECT_NEAR(p95, 95.0, 5.0);
+}
+
+TEST(ExpHistogram, BucketsArePowersOfTwo)
+{
+    ExpHistogram h(8);
+    h.record(0);
+    h.record(1);
+    h.record(2);
+    h.record(3);
+    h.record(4);
+    EXPECT_EQ(h.bucket(0), 1u); // exactly zero
+    EXPECT_EQ(h.bucket(1), 1u); // [1, 2)
+    EXPECT_EQ(h.bucket(2), 2u); // [2, 4)
+    EXPECT_EQ(h.bucket(3), 1u); // [4, 8)
+    EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(ExpHistogram, ClampsToLastBucket)
+{
+    ExpHistogram h(4); // buckets: 0, [1,2), [2,4), [4, inf)
+    h.record(1u << 20);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.max(), 1u << 20);
+}
+
+TEST(ExpHistogram, MeanAndReset)
+{
+    ExpHistogram h;
+    h.record(10, 3);
+    h.record(20);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_NEAR(h.mean(), 12.5, 1e-12);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(ExpHistogram, PercentileEmptyAndMonotone)
+{
+    ExpHistogram h;
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    for (std::uint64_t v = 1; v <= 1024; ++v)
+        h.record(v);
+    EXPECT_LE(h.percentile(0.50), h.percentile(0.95));
+    EXPECT_LE(h.percentile(0.95), h.percentile(0.99));
+    // p50 of 1..1024 lies in the [512, 1024) bucket's range.
+    EXPECT_GE(h.percentile(0.5), 256.0);
+    EXPECT_LE(h.percentile(0.5), 1024.0);
+}
+
 TEST(StatSet, SetGetAndOverwrite)
 {
     StatSet stats("unit");

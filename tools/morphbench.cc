@@ -1,0 +1,326 @@
+/**
+ * @file
+ * morphbench — the CI performance-tracking harness.
+ *
+ * Runs a fixed (workload x config) matrix through the simulator and
+ * writes one JSON document per revision; a second invocation compares
+ * two such documents cell by cell and fails on relative drift beyond
+ * a tolerance. CI runs `morphbench --quick` on every push and checks
+ * the result against the committed bench/baseline.json, so an
+ * accidental IPC or traffic-bloat regression fails the build instead
+ * of landing silently (see docs/OBSERVABILITY.md).
+ *
+ * Usage:
+ *   morphbench [--quick] [--out FILE] [--rev NAME]
+ *              [--accesses N] [--warmup N]
+ *   morphbench --compare BASE.json NEW.json [--tolerance F]
+ *
+ * The run mode writes BENCH_<rev>.json by default. The quick matrix
+ * is small enough for per-push CI (~seconds); the full matrix covers
+ * every evaluation config. Determinism: the simulator is seeded, so
+ * identical code produces identical numbers — the tolerance exists
+ * for intentional model changes, which must update the baseline.
+ *
+ * Exit codes: 0 success, 1 drift or comparison failure, 2 bad
+ * command line, 4 I/O failure.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "sim/simulator.hh"
+
+namespace
+{
+
+using namespace morph;
+
+struct BenchCase
+{
+    const char *workload;
+    const char *config;
+};
+
+/** Per-push matrix: one random, one streaming, one mix — the three
+ *  trace shapes — against the paper's two headline configs. */
+constexpr BenchCase quickMatrix[] = {
+    {"mcf", "morph"},     {"mcf", "sc64"},
+    {"libquantum", "morph"}, {"libquantum", "sc64"},
+    {"mix1", "morph"},    {"mix1", "sc64"},
+};
+
+/** Nightly matrix: wider workload spread, all tree configs. */
+constexpr BenchCase fullMatrix[] = {
+    {"mcf", "morph"},     {"mcf", "sc64"},     {"mcf", "vault"},
+    {"omnetpp", "morph"}, {"omnetpp", "sc64"}, {"omnetpp", "vault"},
+    {"libquantum", "morph"}, {"libquantum", "sc64"},
+    {"libquantum", "vault"}, {"lbm", "morph"}, {"lbm", "sc64"},
+    {"lbm", "vault"},     {"mix1", "morph"},   {"mix1", "sc64"},
+    {"mix1", "vault"},    {"bc-twit", "morph"}, {"bc-twit", "sc64"},
+    {"bc-twit", "vault"},
+};
+
+TreeConfig
+treeByName(const std::string &name)
+{
+    if (name == "sc64")
+        return TreeConfig::sc64();
+    if (name == "vault")
+        return TreeConfig::vault();
+    if (name == "morph")
+        return TreeConfig::morph();
+    std::fprintf(stderr, "morphbench: unknown config '%s'\n",
+                 name.c_str());
+    std::exit(2);
+}
+
+int
+runMatrix(bool quick, const std::string &out_path,
+          const std::string &rev, std::uint64_t accesses,
+          std::uint64_t warmup)
+{
+    const BenchCase *cases = quick ? quickMatrix : fullMatrix;
+    const std::size_t count = quick
+                                  ? std::size(quickMatrix)
+                                  : std::size(fullMatrix);
+
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"morphbench-v1\",\n  \"rev\": \""
+       << jsonEscape(rev) << "\",\n  \"accesses_per_core\": "
+       << accesses << ",\n  \"warmup_per_core\": " << warmup
+       << ",\n  \"cells\": [";
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const BenchCase &c = cases[i];
+        std::fprintf(stderr, "morphbench: [%zu/%zu] %s/%s\n", i + 1,
+                     count, c.workload, c.config);
+
+        SecureModelConfig secmem;
+        secmem.tree = treeByName(c.config);
+        SimOptions options;
+        options.accessesPerCore = accesses;
+        options.warmupPerCore = warmup;
+
+        const SimResult r = runByName(c.workload, secmem, options);
+
+        if (i)
+            os << ",";
+        os << "\n    {\"workload\": \"" << c.workload
+           << "\", \"config\": \"" << c.config
+           << "\", \"ipc\": " << jsonNumber(r.ipc)
+           << ", \"bloat\": " << jsonNumber(r.bloat())
+           << ", \"overflows_per_million\": "
+           << jsonNumber(r.overflowsPerMillion())
+           << ", \"cycles\": " << r.cycles
+           << ", \"dram_reads\": " << r.dram.reads
+           << ", \"dram_writes\": " << r.dram.writes
+           << ", \"mdcache_hit_rate\": "
+           << jsonNumber(r.metadataCache.hitRate()) << "}";
+    }
+    os << "\n  ]\n}\n";
+
+    std::ofstream out(out_path);
+    if (!out || !(out << os.str())) {
+        std::fprintf(stderr, "morphbench: cannot write %s\n",
+                     out_path.c_str());
+        return 4;
+    }
+    std::fprintf(stderr, "morphbench: wrote %s (%zu cells)\n",
+                 out_path.c_str(), count);
+    return 0;
+}
+
+/** Cells are matched by (workload, config); key them for lookup. */
+std::string
+cellKey(const JsonValue &cell)
+{
+    const JsonValue *w = cell.find("workload");
+    const JsonValue *c = cell.find("config");
+    if (!w || !c)
+        return "";
+    return w->asString() + "/" + c->asString();
+}
+
+JsonValue
+loadDoc(const std::string &path, int &rc)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "morphbench: cannot read %s\n",
+                     path.c_str());
+        rc = 4;
+        return JsonValue{};
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    bool ok = false;
+    std::string error;
+    JsonValue doc = jsonParse(buffer.str(), ok, error);
+    if (!ok) {
+        std::fprintf(stderr, "morphbench: %s: %s\n", path.c_str(),
+                     error.c_str());
+        rc = 1;
+        return JsonValue{};
+    }
+    return doc;
+}
+
+int
+compare(const std::string &base_path, const std::string &new_path,
+        double tolerance)
+{
+    int rc = 0;
+    const JsonValue base = loadDoc(base_path, rc);
+    if (rc)
+        return rc;
+    const JsonValue fresh = loadDoc(new_path, rc);
+    if (rc)
+        return rc;
+
+    const JsonValue *base_cells = base.find("cells");
+    const JsonValue *new_cells = fresh.find("cells");
+    if (!base_cells || !new_cells) {
+        std::fprintf(stderr,
+                     "morphbench: missing \"cells\" array\n");
+        return 1;
+    }
+
+    // The metrics gated by the drift check. Lower-is-better vs
+    // higher-is-better doesn't matter: drift in either direction
+    // means the model changed and the baseline must be re-blessed.
+    static const char *metrics[] = {"ipc", "bloat"};
+
+    int failures = 0;
+    for (const JsonValue &base_cell : base_cells->elements()) {
+        const std::string key = cellKey(base_cell);
+        const JsonValue *new_cell = nullptr;
+        for (const JsonValue &candidate : new_cells->elements())
+            if (cellKey(candidate) == key)
+                new_cell = &candidate;
+        if (!new_cell) {
+            std::fprintf(stderr,
+                         "morphbench: FAIL %s: cell missing from %s\n",
+                         key.c_str(), new_path.c_str());
+            ++failures;
+            continue;
+        }
+        for (const char *metric : metrics) {
+            const JsonValue *bv = base_cell.find(metric);
+            const JsonValue *nv = new_cell->find(metric);
+            const double b = bv ? bv->asNumber() : std::nan("");
+            const double n = nv ? nv->asNumber() : std::nan("");
+            if (!std::isfinite(b) || !std::isfinite(n)) {
+                std::fprintf(stderr,
+                             "morphbench: FAIL %s: %s not finite\n",
+                             key.c_str(), metric);
+                ++failures;
+                continue;
+            }
+            const double drift =
+                b == 0.0 ? std::fabs(n)
+                         : std::fabs(n - b) / std::fabs(b);
+            if (drift > tolerance) {
+                std::fprintf(stderr,
+                             "morphbench: FAIL %s: %s drifted %.2f%%"
+                             " (%.6g -> %.6g, tolerance %.0f%%)\n",
+                             key.c_str(), metric, drift * 100.0, b, n,
+                             tolerance * 100.0);
+                ++failures;
+            } else {
+                std::fprintf(stderr,
+                             "morphbench: ok   %s: %s %.6g -> %.6g"
+                             " (%.2f%%)\n",
+                             key.c_str(), metric, b, n, drift * 100.0);
+            }
+        }
+    }
+    if (failures) {
+        std::fprintf(stderr,
+                     "morphbench: %d failure(s); if the change is"
+                     " intentional, regenerate bench/baseline.json\n",
+                     failures);
+        return 1;
+    }
+    std::fprintf(stderr, "morphbench: all cells within tolerance\n");
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: morphbench [options]\n"
+        "  --quick             per-push matrix (6 cells; default is\n"
+        "                      the 18-cell nightly matrix)\n"
+        "  --out FILE          output path (default BENCH_<rev>.json)\n"
+        "  --rev NAME          revision label (default 'local')\n"
+        "  --accesses N        measured accesses per core\n"
+        "  --warmup N          warm-up accesses per core\n"
+        "  --compare BASE NEW  compare two bench documents\n"
+        "  --tolerance F       max relative drift (default 0.05)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string out_path;
+    std::string rev = "local";
+    std::string compare_base;
+    std::string compare_new;
+    double tolerance = 0.05;
+    std::uint64_t accesses = 20'000;
+    std::uint64_t warmup = 5'000;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "morphbench: option %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--out") {
+            out_path = value();
+        } else if (arg == "--rev") {
+            rev = value();
+        } else if (arg == "--accesses") {
+            accesses = std::uint64_t(std::atoll(value()));
+        } else if (arg == "--warmup") {
+            warmup = std::uint64_t(std::atoll(value()));
+        } else if (arg == "--compare") {
+            compare_base = value();
+            compare_new = value();
+        } else if (arg == "--tolerance") {
+            tolerance = std::atof(value());
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            std::fprintf(stderr, "morphbench: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    if (!compare_base.empty())
+        return compare(compare_base, compare_new, tolerance);
+
+    if (out_path.empty())
+        out_path = "BENCH_" + rev + ".json";
+    return runMatrix(quick, out_path, rev, accesses, warmup);
+}

@@ -24,6 +24,11 @@
  *   5. Simulator configs — every *.ini passed on the command line is
  *      validated: known keys, resolvable workload/config names, sane
  *      sizes, and the geometry its settings imply.
+ *   6. Runtime stat names — every statistic a fully-assembled system
+ *      registers into the morphscope registry must match [a-z0-9_.]+
+ *      and be unique (the naming contract the JSON/CSV exporters and
+ *      morphbench depend on), re-validated here independently of the
+ *      registry's own registration check.
  *
  * INI files may also carry [lint.zcc] / [lint.geometry] sections that
  * *override* the expected values; this is how the test suite feeds
@@ -39,6 +44,8 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "common/bitfield.hh"
 #include "common/ini.hh"
 #include "common/types.hh"
@@ -48,6 +55,7 @@
 #include "counters/zcc_codec.hh"
 #include "integrity/tree_config.hh"
 #include "integrity/tree_geometry.hh"
+#include "sim/system.hh"
 #include "workloads/workload_db.hh"
 
 namespace
@@ -455,6 +463,74 @@ checkAllGeometries(Lint &lint, std::uint64_t mem_bytes)
 }
 
 // ---------------------------------------------------------------------
+// 6. Runtime stat-name contract
+// ---------------------------------------------------------------------
+
+/** The naming contract, re-derived (deliberately NOT a call into
+ *  isValidStatName — the lint must catch a drifted implementation). */
+bool
+lintStatNameOk(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '.';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Every stat name a fully-assembled system registers: build the
+ * richest system variant (occupancy gauges and timing histograms
+ * included) and enumerate its morphscope registry. Registration only
+ * — no simulation is run.
+ */
+const std::vector<std::string> &
+runtimeStatNames()
+{
+    static const std::vector<std::string> names = [] {
+        SystemConfig config;
+        config.secmem.tree = TreeConfig::morph();
+        const WorkloadSpec *spec = findWorkload("mcf");
+        std::vector<std::unique_ptr<TraceSource>> traces;
+        for (unsigned core = 0; core < config.numCores; ++core)
+            traces.push_back(makeWorkloadTrace(
+                *spec, core, config.numCores, config.secmem.memBytes,
+                1, 1.0));
+        SimSystem system(config, std::move(traces));
+        ScopeConfig scope_config;
+        scope_config.occupancy = true;
+        MorphScope scope(scope_config);
+        system.attachScope(&scope);
+        return scope.registry().names();
+    }();
+    return names;
+}
+
+void
+checkStatNames(Lint &lint, const std::string &where,
+               std::vector<std::string> names)
+{
+    lint.expectTrue(where, "system registers at least one stat",
+                    !names.empty());
+    for (const std::string &name : names) {
+        lint.expectTrue(where,
+                        "stat name '" + name +
+                            "' matches [a-z0-9_.]+",
+                        lintStatNameOk(name));
+    }
+    std::sort(names.begin(), names.end());
+    for (std::size_t i = 1; i < names.size(); ++i) {
+        if (names[i] == names[i - 1])
+            lint.fail(where, "stat name '" + names[i] +
+                                 "' registered more than once");
+    }
+}
+
+// ---------------------------------------------------------------------
 // 5. INI validation (simulator configs + lint spec overrides)
 // ---------------------------------------------------------------------
 
@@ -515,6 +591,7 @@ checkIniFile(Lint &lint, const std::string &path)
         "lint.geometry.metadata_mb", "lint.mcr.major_bits",
         "lint.mcr.base_bits", "lint.mcr.minor_bits", "lint.sc.arity",
         "lint.sc.minor_bits", "lint.morph.otp_counter_bits",
+        "lint.stats.extra_name",
     };
     for (const std::string &key : ini.keys()) {
         bool ok = false;
@@ -637,6 +714,15 @@ checkIniFile(Lint &lint, const std::string &path)
                         declared <= zcc::majorBits);
     }
 
+    // Stat-name spec: an extra name the configuration claims to
+    // register; it must satisfy the contract *and* not collide with
+    // any name the system already registers.
+    if (ini.has("lint.stats.extra_name")) {
+        std::vector<std::string> names = runtimeStatNames();
+        names.push_back(ini.getString("lint.stats.extra_name"));
+        checkStatNames(lint, where + "/stats", std::move(names));
+    }
+
     if (ini.has("lint.geometry.config") ||
         ini.has("lint.geometry.tree_levels") ||
         ini.has("lint.geometry.metadata_mb")) {
@@ -717,6 +803,7 @@ main(int argc, char **argv)
     checkLayouts(lint);
     checkLayoutProbes(lint);
     checkAllGeometries(lint, mem_gb << 30);
+    checkStatNames(lint, "stat-names", runtimeStatNames());
     for (const std::string &path : configs)
         checkIniFile(lint, path);
 

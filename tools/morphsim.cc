@@ -5,30 +5,44 @@
  * Runs any named workload (or mix, or user trace file) against any
  * counter/tree configuration and prints the full statistics report:
  * IPC, traffic by category, overflow/rebase counts, metadata-cache
- * behaviour, DRAM activity and energy.
+ * behaviour, DRAM activity, latency percentiles and energy. The same
+ * run can export machine-readable telemetry (morphscope): a JSON/CSV
+ * stats document, an epoch time series, and a Chrome trace of sampled
+ * request lifecycles (see docs/OBSERVABILITY.md).
  *
  * Examples:
  *   morphsim --workload mcf --config morph
  *   morphsim --workload mix2 --config vault --cache-kb 64 --timing 0
  *   morphsim --trace my.trc --config sc64 --accesses 500000
+ *   morphsim --workload mcf --epoch 50000 --stats-json out.json \
+ *            --trace-out trace.json
  *   morphsim --list
+ *
+ * Exit codes: 0 success, 2 bad command line, 3 bad configuration
+ * (unknown workload/config, unreadable file, unknown INI key),
+ * 4 runtime failure (export I/O, internal error).
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <fstream>
 #include <iostream>
-#include <sstream>
 
 #include "common/ini.hh"
 #include "common/log.hh"
 #include "sim/simulator.hh"
-#include "workloads/trace_file.hh"
 
 namespace
 {
 
 using namespace morph;
+
+/** Exit codes (documented in docs/SIMULATOR.md). */
+constexpr int exitBadFlag = 2;
+constexpr int exitBadConfig = 3;
+constexpr int exitRuntime = 4;
 
 void
 usage()
@@ -52,27 +66,55 @@ usage()
         "  --ctr-prefetch      next-entry counter prefetch\n"
         "  --demote-enc        type-aware cache insertion\n"
         "  --occupancy         report per-level cache occupancy\n"
+        "  --epoch N           sample a stats epoch every N measured\n"
+        "                      accesses per core (0 = off)\n"
+        "  --stats-json FILE   write the stats document as JSON\n"
+        "  --stats-csv FILE    write totals (or epoch series) as CSV\n"
+        "  --trace-out FILE    write a Chrome trace of sampled\n"
+        "                      request lifecycles\n"
+        "  --trace-sample N    trace 1-in-N data accesses\n"
+        "                      (default 64; 1 = every access)\n"
         "  --list              list workloads and exit\n");
 }
 
-TreeConfig
-configByName(const std::string &name)
+/** Resolve a tree config name; false (no change) if unknown. */
+bool
+configByName(const std::string &name, TreeConfig &out)
 {
     if (name == "sc64")
-        return TreeConfig::sc64();
-    if (name == "vault")
-        return TreeConfig::vault();
-    if (name == "morph")
-        return TreeConfig::morph();
-    if (name == "morph-zcc")
-        return TreeConfig::morphZccOnly();
-    if (name == "sc128")
-        return TreeConfig::sc128();
-    if (name == "sgx")
-        return TreeConfig::sgx();
-    if (name == "bmt")
-        return TreeConfig::bonsaiMacTree();
-    fatal("unknown config '%s'", name.c_str());
+        out = TreeConfig::sc64();
+    else if (name == "vault")
+        out = TreeConfig::vault();
+    else if (name == "morph")
+        out = TreeConfig::morph();
+    else if (name == "morph-zcc")
+        out = TreeConfig::morphZccOnly();
+    else if (name == "sc128")
+        out = TreeConfig::sc128();
+    else if (name == "sgx")
+        out = TreeConfig::sgx();
+    else if (name == "bmt")
+        out = TreeConfig::bonsaiMacTree();
+    else
+        return false;
+    return true;
+}
+
+bool
+knownWorkload(const std::string &name)
+{
+    if (findWorkload(name))
+        return true;
+    for (const MixSpec &mix : mixTable())
+        if (mix.name == name)
+            return true;
+    return false;
+}
+
+bool
+readableFile(const std::string &path)
+{
+    return bool(std::ifstream(path));
 }
 
 void
@@ -97,19 +139,18 @@ listWorkloads()
     }
 }
 
-} // namespace
-
-namespace
-{
-
-/** Apply an INI config file onto the option structs. */
+/** Apply an INI config file onto the option structs; exits with
+ *  exitBadConfig on unreadable files and unknown keys. */
 void
 applyConfigFile(const std::string &path, std::string &workload,
                 std::string &trace_path, std::string &config_name,
-                morph::SecureModelConfig &secmem,
-                morph::SimOptions &options)
+                SecureModelConfig &secmem, SimOptions &options)
 {
-    using morph::IniFile;
+    if (!readableFile(path)) {
+        std::fprintf(stderr, "morphsim: cannot read config file %s\n",
+                     path.c_str());
+        std::exit(exitBadConfig);
+    }
     const IniFile ini = IniFile::fromFile(path);
 
     static const char *known[] = {
@@ -125,9 +166,12 @@ applyConfigFile(const std::string &path, std::string &workload,
         bool ok = false;
         for (const char *candidate : known)
             ok = ok || key == candidate;
-        if (!ok)
-            morph::fatal("config %s: unknown key '%s'", path.c_str(),
-                         key.c_str());
+        if (!ok) {
+            std::fprintf(stderr,
+                         "morphsim: config %s: unknown key '%s'\n",
+                         path.c_str(), key.c_str());
+            std::exit(exitBadConfig);
+        }
     }
 
     workload = ini.getString("system.workload", workload);
@@ -169,6 +213,15 @@ applyConfigFile(const std::string &path, std::string &workload,
         unsigned(ini.getInt("dram.ranks", options.dram.ranksPerChannel));
 }
 
+[[noreturn]] void
+badFlag(const char *fmt, const char *detail)
+{
+    std::fprintf(stderr, "morphsim: ");
+    std::fprintf(stderr, fmt, detail);
+    std::fprintf(stderr, " (--help for usage)\n");
+    std::exit(exitBadFlag);
+}
+
 } // namespace
 
 int
@@ -177,15 +230,19 @@ main(int argc, char **argv)
     std::string workload;
     std::string trace_path;
     std::string config_name = "morph";
+    std::string stats_json_path;
+    std::string stats_csv_path;
+    std::string trace_out_path;
     SecureModelConfig secmem;
     SimOptions options = SimOptions::fromEnv();
-    bool report_occupancy = false;
+    ScopeConfig scope_config;
+    std::uint64_t trace_sample = 64;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> const char * {
             if (i + 1 >= argc)
-                fatal("option %s needs a value", arg.c_str());
+                badFlag("option %s needs a value", arg.c_str());
             return argv[++i];
         };
         if (arg == "--workload") {
@@ -222,7 +279,20 @@ main(int argc, char **argv)
         } else if (arg == "--demote-enc") {
             secmem.demoteEncCounters = true;
         } else if (arg == "--occupancy") {
-            report_occupancy = true;
+            scope_config.occupancy = true;
+        } else if (arg == "--epoch") {
+            scope_config.epochAccesses =
+                std::uint64_t(std::atoll(value()));
+        } else if (arg == "--stats-json") {
+            stats_json_path = value();
+        } else if (arg == "--stats-csv") {
+            stats_csv_path = value();
+        } else if (arg == "--trace-out") {
+            trace_out_path = value();
+        } else if (arg == "--trace-sample") {
+            trace_sample = std::uint64_t(std::atoll(value()));
+            if (trace_sample == 0)
+                badFlag("option %s needs a value >= 1", arg.c_str());
         } else if (arg == "--list") {
             listWorkloads();
             return 0;
@@ -230,88 +300,79 @@ main(int argc, char **argv)
             usage();
             return 0;
         } else {
-            usage();
-            fatal("unknown option '%s'", arg.c_str());
+            badFlag("unknown option '%s'", arg.c_str());
         }
     }
 
-    secmem.tree = configByName(config_name);
-
-    SimResult result;
-    std::vector<std::uint64_t> occupancy;
-    if (!trace_path.empty()) {
-        // Replay the same file on all four cores through the full
-        // system (occupancy reporting needs direct system access).
-        SystemConfig system_config;
-        system_config.secmem = secmem;
-        system_config.dram = options.dram;
-        system_config.timing = options.timing;
-        std::vector<std::unique_ptr<TraceSource>> traces;
-        for (unsigned core = 0; core < system_config.numCores; ++core)
-            traces.push_back(
-                std::make_unique<FileTraceSource>(trace_path));
-        SimSystem system(system_config, std::move(traces));
-        if (options.warmupPerCore > 0)
-            system.run(options.warmupPerCore);
-        system.startMeasurement();
-        system.run(options.accessesPerCore);
-        result.workload = trace_path;
-        result.configName = secmem.tree.name;
-        result.ipc = system.aggregateIpc();
-        result.cycles = system.measuredCycles();
-        result.instructions = system.measuredInstructions();
-        result.traffic = system.secmem().stats();
-        result.metadataCache =
-            system.secmem().metadataCache().stats();
-        result.dram = system.dram().totalActivity();
-        EnergyParams energy_params;
-        result.energy = computeEnergy(
-            energy_params, result.dram, result.cycles,
-            system_config.dram.cpuFreqHz,
-            system_config.dram.channels *
-                system_config.dram.ranksPerChannel);
-        occupancy = system.secmem().metadataCache().levelOccupancy();
-    } else if (!workload.empty()) {
-        result = runByName(workload, secmem, options);
-    } else {
+    if (workload.empty() && trace_path.empty()) {
         usage();
-        fatal("need --workload or --trace");
+        std::fprintf(stderr, "morphsim: need --workload or --trace\n");
+        return exitBadFlag;
     }
 
-    StatSet stats("morphsim");
-    stats.set("ipc", result.ipc);
-    stats.set("cycles", double(result.cycles));
-    stats.set("instructions", double(result.instructions));
-    result.traffic.report(stats);
-    stats.set("overflows.per_million", result.overflowsPerMillion());
-    stats.set("mdcache.hit_rate", result.metadataCache.hitRate());
-    stats.set("mdcache.misses", double(result.metadataCache.misses));
-    stats.set("dram.reads", double(result.dram.reads));
-    stats.set("dram.writes", double(result.dram.writes));
-    stats.set("dram.activates", double(result.dram.activates));
-    stats.set("dram.row_hit_rate",
-              result.dram.reads + result.dram.writes
-                  ? double(result.dram.rowHits) /
-                        double(result.dram.reads + result.dram.writes)
-                  : 0.0);
-    stats.set("energy.exec_seconds", result.energy.seconds);
-    stats.set("energy.dram_joules", result.energy.dramJ);
-    stats.set("energy.system_joules", result.energy.systemJ);
-    stats.set("energy.system_watts", result.energy.systemPowerW);
-    stats.set("energy.edp", result.energy.edp);
+    // Validate the configuration before spending time simulating.
+    if (!configByName(config_name, secmem.tree)) {
+        std::fprintf(stderr, "morphsim: unknown config '%s'\n",
+                     config_name.c_str());
+        return exitBadConfig;
+    }
+    if (!workload.empty() && !knownWorkload(workload)) {
+        std::fprintf(stderr,
+                     "morphsim: unknown workload or mix '%s'"
+                     " (see --list)\n",
+                     workload.c_str());
+        return exitBadConfig;
+    }
+    if (!trace_path.empty() && !readableFile(trace_path)) {
+        std::fprintf(stderr, "morphsim: cannot read trace file %s\n",
+                     trace_path.c_str());
+        return exitBadConfig;
+    }
+
+    if (!trace_out_path.empty())
+        scope_config.traceSampleEvery = trace_sample;
+
+    MorphScope scope(scope_config);
+    SimResult result;
+    try {
+        result = trace_path.empty()
+                     ? runByName(workload, secmem, options, &scope)
+                     : runTraceFile(trace_path, secmem, options,
+                                    &scope);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "morphsim: simulation failed: %s\n",
+                     e.what());
+        return exitRuntime;
+    }
 
     std::printf("# %s on %s\n", result.configName.c_str(),
                 result.workload.c_str());
-    std::ostringstream os;
-    stats.dump(os);
-    std::fputs(os.str().c_str(), stdout);
+    scope.dumpText(std::cout, "morphsim");
+    std::cout.flush();
 
-    if (report_occupancy && !occupancy.empty()) {
-        for (std::size_t level = 0; level + 1 < occupancy.size();
-             ++level)
-            std::printf("morphsim.mdcache.occupancy.level%zu %llu\n",
-                        level,
-                        (unsigned long long)occupancy[level]);
+    if (!stats_json_path.empty() &&
+        !scope.writeStatsJson(stats_json_path)) {
+        std::fprintf(stderr, "morphsim: cannot write %s\n",
+                     stats_json_path.c_str());
+        return exitRuntime;
+    }
+    if (!stats_csv_path.empty() &&
+        !scope.writeStatsCsv(stats_csv_path)) {
+        std::fprintf(stderr, "morphsim: cannot write %s\n",
+                     stats_csv_path.c_str());
+        return exitRuntime;
+    }
+    if (!trace_out_path.empty()) {
+        if (!scope.writeTrace(trace_out_path)) {
+            std::fprintf(stderr, "morphsim: cannot write %s\n",
+                         trace_out_path.c_str());
+            return exitRuntime;
+        }
+        if (scope.trace().dropped() > 0)
+            std::fprintf(stderr,
+                         "morphsim: trace buffer full, dropped %llu"
+                         " events (raise --trace-sample)\n",
+                         (unsigned long long)scope.trace().dropped());
     }
     return 0;
 }
