@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/run_pool.hh"
 #include "sim/simulator.hh"
 
 namespace morph
@@ -75,6 +76,43 @@ modelConfig(TreeConfig tree)
     SecureModelConfig config;
     config.tree = std::move(tree);
     return config;
+}
+
+/** Worker count for the figure sweeps: MORPH_BENCH_JOBS when set to
+ *  a value >= 1, else hardware concurrency. */
+inline unsigned
+envJobs()
+{
+    if (const char *env = std::getenv("MORPH_BENCH_JOBS")) {
+        const long long v = std::atoll(env);
+        if (v >= 1)
+            return unsigned(v);
+    }
+    return RunPool::hardwareJobs();
+}
+
+/** One independent cell of a figure's (workload, config) grid. */
+struct SweepCase
+{
+    std::string workload;
+    SecureModelConfig config;
+    SimOptions options;
+};
+
+/** Run every case on a RunPool and return the results in case order.
+ *
+ *  Each run owns its whole simulated system and a deterministic seed
+ *  from its SimOptions, and aggregation/printing reads the ordered
+ *  results exactly as the old serial loops did — figure output is
+ *  byte-identical at any MORPH_BENCH_JOBS level. */
+inline std::vector<SimResult>
+runSweep(const std::vector<SweepCase> &cases)
+{
+    SweepEngine engine(envJobs());
+    return engine.map<SimResult>(cases.size(), [&](std::size_t i) {
+        return runByName(cases[i].workload, cases[i].config,
+                         cases[i].options);
+    });
 }
 
 /** Print the standard figure header. */

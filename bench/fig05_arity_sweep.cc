@@ -42,10 +42,16 @@ main()
     std::vector<double> bloat(rows.size(), 0.0);
     std::vector<double> overflow_traffic(rows.size(), 0.0);
 
-    for (const std::string &name : workloads) {
+    std::vector<SweepCase> cases;
+    for (const std::string &name : workloads)
+        for (const Row &row : rows)
+            cases.push_back({name, row.config, options});
+    const std::vector<SimResult> results = runSweep(cases);
+
+    std::size_t next = 0;
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
         for (std::size_t r = 0; r < rows.size(); ++r) {
-            const SimResult result =
-                runByName(name, rows[r].config, options);
+            const SimResult &result = results[next++];
             ipcs[r].push_back(result.ipc);
             bloat[r] += result.bloat();
             const double data =

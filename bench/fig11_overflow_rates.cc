@@ -28,13 +28,20 @@ main()
 
     std::printf("%-12s %12s %12s %16s\n", "workload", "SC-64",
                 "SC-128", "MorphCtr(ZCC)");
+    const auto workloads = evaluationWorkloads();
+    std::vector<SweepCase> cases;
+    for (const std::string &name : workloads)
+        for (int c = 0; c < 3; ++c)
+            cases.push_back({name, modelConfig(configs[c]), options});
+    const std::vector<SimResult> results = runSweep(cases);
+
     double sums[3] = {};
     unsigned rows = 0;
-    for (const std::string &name : evaluationWorkloads()) {
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const std::string &name = workloads[w];
         double rates[3];
         for (int c = 0; c < 3; ++c)
-            rates[c] = runByName(name, modelConfig(configs[c]), options)
-                           .overflowsPerMillion();
+            rates[c] = results[3 * w + c].overflowsPerMillion();
         std::printf("%-12s %12.1f %12.1f %16.1f\n", name.c_str(),
                     rates[0], rates[1], rates[2]);
         for (int c = 0; c < 3; ++c)

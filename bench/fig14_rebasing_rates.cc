@@ -27,14 +27,21 @@ main()
 
     std::printf("%-12s %12s %16s %18s %10s\n", "workload", "SC-64",
                 "Morph(ZCC)", "Morph(ZCC+Reb)", "rebases/M");
+    const auto workloads = evaluationWorkloads();
+    std::vector<SweepCase> cases;
+    for (const std::string &name : workloads)
+        for (int c = 0; c < 3; ++c)
+            cases.push_back({name, modelConfig(configs[c]), options});
+    const std::vector<SimResult> results = runSweep(cases);
+
     double sums[3] = {};
     unsigned rows = 0;
-    for (const std::string &name : evaluationWorkloads()) {
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const std::string &name = workloads[w];
         double rates[3];
         double rebases = 0;
         for (int c = 0; c < 3; ++c) {
-            const SimResult result =
-                runByName(name, modelConfig(configs[c]), options);
+            const SimResult &result = results[3 * w + std::size_t(c)];
             rates[c] = result.overflowsPerMillion();
             if (c == 2) {
                 const auto data =

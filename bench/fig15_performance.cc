@@ -25,14 +25,21 @@ main()
 
     std::printf("%-12s %10s %10s %14s %14s\n", "workload", "VAULT",
                 "SC-64", "MorphCtr-128", "(SC-64 IPC)");
+    const auto workloads = evaluationWorkloads();
+    std::vector<SweepCase> cases;
+    for (const std::string &name : workloads) {
+        cases.push_back({name, modelConfig(TreeConfig::vault()), options});
+        cases.push_back({name, modelConfig(TreeConfig::sc64()), options});
+        cases.push_back({name, modelConfig(TreeConfig::morph()), options});
+    }
+    const std::vector<SimResult> results = runSweep(cases);
+
     std::vector<double> vault_norm, morph_norm;
-    for (const std::string &name : evaluationWorkloads()) {
-        const SimResult vault =
-            runByName(name, modelConfig(TreeConfig::vault()), options);
-        const SimResult sc64 =
-            runByName(name, modelConfig(TreeConfig::sc64()), options);
-        const SimResult morphr =
-            runByName(name, modelConfig(TreeConfig::morph()), options);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const std::string &name = workloads[w];
+        const SimResult &vault = results[3 * w + 0];
+        const SimResult &sc64 = results[3 * w + 1];
+        const SimResult &morphr = results[3 * w + 2];
 
         const double v = vault.ipc / sc64.ipc;
         const double m = morphr.ipc / sc64.ipc;

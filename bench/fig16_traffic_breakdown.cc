@@ -46,16 +46,22 @@ main()
     std::printf("%-14s %8s %9s %7s %7s %9s %9s\n", "", "Data",
                 "Ctr_Encr", "Ctr_1", "Ctr_2", "Ctr_3&Up", "Overflow");
 
+    const auto workloads = evaluationWorkloads();
+    std::vector<SweepCase> cases;
+    for (const std::string &name : workloads) {
+        cases.push_back({name, modelConfig(TreeConfig::vault()), options});
+        cases.push_back({name, modelConfig(TreeConfig::sc64()), options});
+        cases.push_back({name, modelConfig(TreeConfig::morph()), options});
+    }
+    const std::vector<SimResult> results = runSweep(cases);
+
     double bloat_sums[3] = {};
     unsigned rows = 0;
-    for (const std::string &name : evaluationWorkloads()) {
-        std::printf("%s\n", name.c_str());
-        const SimResult vault =
-            runByName(name, modelConfig(TreeConfig::vault()), options);
-        const SimResult sc64 =
-            runByName(name, modelConfig(TreeConfig::sc64()), options);
-        const SimResult morphr =
-            runByName(name, modelConfig(TreeConfig::morph()), options);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        std::printf("%s\n", workloads[w].c_str());
+        const SimResult &vault = results[3 * w + 0];
+        const SimResult &sc64 = results[3 * w + 1];
+        const SimResult &morphr = results[3 * w + 2];
         printRow("VAULT", vault);
         printRow("SC-64", sc64);
         printRow("MorphCtr-128", morphr);

@@ -1,0 +1,171 @@
+#include "common/run_pool.hh"
+
+#include <algorithm>
+
+#include "common/check.hh"
+
+namespace morph
+{
+
+std::uint64_t
+sweepSeed(std::string_view key, std::uint64_t base)
+{
+    // FNV-1a 64-bit over the key bytes...
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : key) {
+        h ^= std::uint64_t(static_cast<unsigned char>(c));
+        h *= 0x100000001b3ull;
+    }
+    // ...then a splitmix64 finalizer so near-identical keys ("mcf/sc64"
+    // vs "mcf/sc128") land in unrelated parts of the seed space.
+    h ^= base + 0x9e3779b97f4a7c15ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    return h ^ (h >> 31);
+}
+
+unsigned
+RunPool::hardwareJobs()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+RunPool::RunPool(unsigned threads)
+{
+    const unsigned count = threads == 0 ? hardwareJobs() : threads;
+    shards_.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+    workers_.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        workers_.emplace_back([this, i]() { workerLoop(i); });
+}
+
+RunPool::~RunPool()
+{
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+bool
+RunPool::popLocal(unsigned id, std::size_t &task)
+{
+    Shard &shard = *shards_[id];
+    std::lock_guard<std::mutex> guard(shard.lock);
+    if (shard.tasks.empty())
+        return false;
+    task = shard.tasks.front();
+    shard.tasks.pop_front();
+    return true;
+}
+
+bool
+RunPool::stealTask(unsigned id, std::size_t &task)
+{
+    const std::size_t n = shards_.size();
+    for (std::size_t k = 1; k < n; ++k) {
+        Shard &victim = *shards_[(id + k) % n];
+        std::lock_guard<std::mutex> guard(victim.lock);
+        if (victim.tasks.empty())
+            continue;
+        task = victim.tasks.back();
+        victim.tasks.pop_back();
+        return true;
+    }
+    return false;
+}
+
+void
+RunPool::runTask(std::size_t task)
+{
+    // Re-read the session function under the lock: a worker finishing
+    // a drain pass may pick up the first tasks of the *next* session
+    // before it ever sleeps, and must use that session's function.
+    const std::function<void(std::size_t)> *fn;
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        fn = fn_;
+    }
+    std::exception_ptr error;
+    try {
+        MORPH_CHECK(fn != nullptr);
+        (*fn)(task);
+    } catch (...) {
+        error = std::current_exception();
+    }
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        if (error && (!error_ || task < firstErrorIndex_)) {
+            error_ = error;
+            firstErrorIndex_ = task;
+        }
+        MORPH_CHECK(pending_ > 0);
+        if (--pending_ == 0)
+            idle_.notify_all();
+    }
+}
+
+void
+RunPool::workerLoop(unsigned id)
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> guard(lock_);
+            wake_.wait(guard, [&]() {
+                return shutdown_ || (session_ != seen && pending_ > 0);
+            });
+            if (shutdown_)
+                return;
+            seen = session_;
+        }
+        std::size_t task;
+        while (popLocal(id, task) || stealTask(id, task))
+            runTask(task);
+    }
+}
+
+void
+RunPool::forEach(std::size_t count,
+                 const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+
+    std::unique_lock<std::mutex> guard(lock_);
+    MORPH_CHECK(fn_ == nullptr); // not reentrant
+    // Deal contiguous index blocks into the shards while holding the
+    // session lock: a still-draining worker from the previous session
+    // can legally pop these tasks early, but blocks on lock_ inside
+    // runTask until fn_/pending_ below are in place.
+    const std::size_t n = shards_.size();
+    const std::size_t chunk = (count + n - 1) / n;
+    for (std::size_t s = 0; s < n; ++s) {
+        const std::size_t lo = std::min(s * chunk, count);
+        const std::size_t hi = std::min(lo + chunk, count);
+        std::lock_guard<std::mutex> shard_guard(shards_[s]->lock);
+        for (std::size_t i = lo; i < hi; ++i)
+            shards_[s]->tasks.push_back(i);
+    }
+    fn_ = &fn;
+    pending_ = count;
+    error_ = nullptr;
+    firstErrorIndex_ = 0;
+    ++session_;
+    wake_.notify_all();
+    idle_.wait(guard, [&]() { return pending_ == 0; });
+    fn_ = nullptr;
+    if (error_) {
+        const std::exception_ptr error = error_;
+        error_ = nullptr;
+        guard.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+} // namespace morph

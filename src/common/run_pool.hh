@@ -1,0 +1,160 @@
+/**
+ * @file
+ * run_pool: the parallel sweep engine for independent simulation runs.
+ *
+ * Every evaluation surface of this repo — the morphbench workload x
+ * config matrix, the bench/fig* figure reproductions, morphsim
+ * --sweep, morphverify's model shards — is an embarrassingly parallel
+ * grid of independent runs: each run owns its whole simulated system
+ * (traces, RNGs, caches, DRAM, StatRegistry/MorphScope), and shares
+ * no mutable state with its siblings. RunPool turns that grid into
+ * near-linear multi-core throughput without giving up the repo's
+ * bit-reproducibility contract:
+ *
+ *  - Determinism by construction. A task is addressed by its index in
+ *    the caller's job list; results land in an index-ordered vector,
+ *    so collected output is byte-identical no matter how the pool
+ *    schedules the work. Seeds must be derived from the run key (use
+ *    sweepSeed(), or an explicit per-run SimOptions::seed), never
+ *    from pool scheduling order, thread ids, or time.
+ *
+ *  - Work stealing. Tasks are dealt into per-worker deques in
+ *    contiguous blocks; a worker drains its own deque from the front
+ *    and steals from the back of a sibling's when empty, so a few
+ *    slow cells (random-access workloads run ~3x longer than
+ *    streaming ones) cannot strand the other cores.
+ *
+ *  - Exceptions propagate. The first failure *by task index* (again:
+ *    not by completion order) is rethrown from forEach() after the
+ *    session drains, so a failing sweep reports the same cell on
+ *    every machine.
+ *
+ * The pool is not reentrant: one forEach() session at a time, driven
+ * from one thread. Tasks must not call back into the same pool.
+ */
+
+#ifndef MORPH_COMMON_RUN_POOL_HH
+#define MORPH_COMMON_RUN_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace morph
+{
+
+/** Deterministic per-run seed derived from the run's identity.
+ *
+ *  FNV-1a over @p key mixed through a splitmix64 finalizer and XORed
+ *  with @p base — a pure function of (key, base), so a sweep assigns
+ *  every (workload, config) run the same RNG stream regardless of
+ *  which worker executes it, in which order, at which --jobs level.
+ *  Never seed a run from scheduling state (thread id, completion
+ *  rank, time): that is exactly the nondeterminism this pool exists
+ *  to exclude. */
+std::uint64_t sweepSeed(std::string_view key, std::uint64_t base = 0);
+
+/** Work-stealing thread pool over index-addressed task ranges. */
+class RunPool
+{
+  public:
+    /** @param threads worker count; 0 = hardwareJobs(). */
+    explicit RunPool(unsigned threads = 0);
+    ~RunPool();
+
+    RunPool(const RunPool &) = delete;
+    RunPool &operator=(const RunPool &) = delete;
+
+    /** Worker threads in this pool (>= 1). */
+    unsigned threads() const { return unsigned(workers_.size()); }
+
+    /** std::thread::hardware_concurrency(), clamped to >= 1. */
+    static unsigned hardwareJobs();
+
+    /**
+     * Execute fn(0) .. fn(count-1) across the workers and block until
+     * every call returns. Tasks run concurrently and in no defined
+     * order; anything order-dependent must key off the index, not off
+     * execution sequence. If any call throws, the exception of the
+     * lowest-indexed failing task is rethrown here after the session
+     * completes. Not reentrant.
+     */
+    void forEach(std::size_t count,
+                 const std::function<void(std::size_t)> &fn);
+
+  private:
+    /** One worker's task deque (own front = pop, sibling back = steal). */
+    struct Shard
+    {
+        std::mutex lock;
+        std::deque<std::size_t> tasks;
+    };
+
+    void workerLoop(unsigned id);
+    bool popLocal(unsigned id, std::size_t &task);
+    bool stealTask(unsigned id, std::size_t &task);
+    void runTask(std::size_t task);
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<std::thread> workers_;
+
+    std::mutex lock_; ///< guards the session state below
+    std::condition_variable wake_; ///< workers: a session started
+    std::condition_variable idle_; ///< forEach: the session drained
+    const std::function<void(std::size_t)> *fn_ = nullptr;
+    std::uint64_t session_ = 0;
+    std::size_t pending_ = 0;
+    std::size_t firstErrorIndex_ = 0;
+    std::exception_ptr error_;
+    bool shutdown_ = false;
+};
+
+/**
+ * Ordered parallel map over an index range: the sweep engine proper.
+ *
+ * Wraps a RunPool and collects one result per job into a vector
+ * ordered by job index, so downstream aggregation and report emission
+ * read results exactly as a serial loop would have produced them:
+ *
+ *   SweepEngine engine(jobs);
+ *   auto results = engine.map<SimResult>(cases.size(), [&](size_t i) {
+ *       return runByName(cases[i].workload, cases[i].config, options);
+ *   });
+ *   // results[i] corresponds to cases[i]; print in order.
+ */
+class SweepEngine
+{
+  public:
+    /** @param jobs worker count; 0 = RunPool::hardwareJobs(). */
+    explicit SweepEngine(unsigned jobs = 0) : pool_(jobs) {}
+
+    unsigned jobs() const { return pool_.threads(); }
+    RunPool &pool() { return pool_; }
+
+    /** Run fn(i) for i in [0, count) and return results in index
+     *  order. Result must be default-constructible. */
+    template <typename Result, typename Fn>
+    std::vector<Result>
+    map(std::size_t count, Fn &&fn)
+    {
+        std::vector<Result> results(count);
+        const std::function<void(std::size_t)> task =
+            [&](std::size_t i) { results[i] = fn(i); };
+        pool_.forEach(count, task);
+        return results;
+    }
+
+  private:
+    RunPool pool_;
+};
+
+} // namespace morph
+
+#endif // MORPH_COMMON_RUN_POOL_HH

@@ -316,7 +316,7 @@ writeStatsJson(std::ostream &os, const StatRegistry &registry,
     for (std::size_t i = 0; i < registry.numScalars(); ++i) {
         if (i)
             os << ",";
-        os << "\n    \"" << registry.scalarName(i)
+        os << "\n    \"" << jsonEscape(registry.scalarName(i))
            << "\": " << jsonNumber(registry.scalarValue(i));
     }
     os << (registry.numScalars() == 0 ? "},\n" : "\n  },\n");
@@ -325,8 +325,8 @@ writeStatsJson(std::ostream &os, const StatRegistry &registry,
     for (std::size_t i = 0; i < registry.numScalars(); ++i) {
         if (i)
             os << ",";
-        os << "\n    \"" << registry.scalarName(i) << "\": \""
-           << kindName(registry.scalarKind(i)) << "\"";
+        os << "\n    \"" << jsonEscape(registry.scalarName(i))
+           << "\": \"" << kindName(registry.scalarKind(i)) << "\"";
     }
     os << (registry.numScalars() == 0 ? "},\n" : "\n  },\n");
 
@@ -335,7 +335,8 @@ writeStatsJson(std::ostream &os, const StatRegistry &registry,
         if (i)
             os << ",";
         const HistogramSnapshot snap = registry.histogramSnapshot(i);
-        os << "\n    \"" << registry.histogramName(i) << "\": {"
+        os << "\n    \"" << jsonEscape(registry.histogramName(i))
+           << "\": {"
            << "\"count\": " << snap.count
            << ", \"mean\": " << jsonNumber(snap.mean)
            << ", \"p50\": " << jsonNumber(snap.p50)
@@ -357,7 +358,7 @@ writeStatsJson(std::ostream &os, const StatRegistry &registry,
         for (std::size_t i = 0; i < epochs->numStats(); ++i) {
             if (i)
                 os << ", ";
-            os << "\"" << registry.scalarName(i) << "\"";
+            os << "\"" << jsonEscape(registry.scalarName(i)) << "\"";
         }
         os << "],\n    \"samples\": [";
         const auto &records = epochs->records();

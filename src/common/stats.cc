@@ -138,7 +138,12 @@ ExpHistogram::percentile(double p) const
             // recorded sample so outliers do not inflate the tail.
             const double hi =
                 std::min(double(bucketHi(i)), double(max_) + 1.0);
-            return lo + within * (std::max(hi, lo + 1.0) - lo);
+            // Interpolation runs to the bucket's exclusive upper edge,
+            // so p100 would otherwise report max_ + 1 (and a lone
+            // sample of 0 would report 1): no percentile can exceed
+            // the largest recorded sample.
+            return std::min(lo + within * (std::max(hi, lo + 1.0) - lo),
+                            double(max_));
         }
         seen += weight;
     }

@@ -73,12 +73,16 @@ TraceLog::write(std::ostream &os) const
         if (!first)
             os << ",";
         first = false;
+        // Event names and categories pass through jsonEscape like
+        // every other string field: a stray control byte or quote in
+        // an instrumentation site must not produce invalid JSON.
+        os << "\n{\"name\": \"" << jsonEscape(e.name)
+           << "\", \"cat\": \"" << jsonEscape(e.cat) << "\", ";
         if (e.phase == 'X') {
             std::snprintf(buf, sizeof buf,
-                          "\n{\"name\": \"%s\", \"cat\": \"%s\", "
                           "\"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
                           "\"ts\": %" PRIu64 ", \"dur\": %" PRIu64,
-                          e.name, e.cat, e.tid, e.ts, e.dur);
+                          e.tid, e.ts, e.dur);
             os << buf;
             if (e.line != noLine) {
                 std::snprintf(buf, sizeof buf,
@@ -90,10 +94,9 @@ TraceLog::write(std::ostream &os) const
             os << "}";
         } else {
             std::snprintf(buf, sizeof buf,
-                          "\n{\"name\": \"%s\", \"cat\": \"%s\", "
                           "\"ph\": \"i\", \"s\": \"t\", \"pid\": 1, "
                           "\"tid\": %u, \"ts\": %" PRIu64 "}",
-                          e.name, e.cat, e.tid, e.ts);
+                          e.tid, e.ts);
             os << buf;
         }
     }

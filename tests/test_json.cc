@@ -8,9 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 #include <string>
 
 #include "common/json.hh"
+#include "common/rng.hh"
+#include "common/trace_log.hh"
 
 namespace morph
 {
@@ -100,6 +103,78 @@ TEST(JsonParser, EscapeRoundTrip)
     const JsonValue parsed =
         parseOk("\"" + jsonEscape(nasty) + "\"");
     EXPECT_EQ(parsed.asString(), nasty);
+}
+
+TEST(JsonParser, EscapesEveryControlCharacter)
+{
+    // U+0000 .. U+001F must all emit as escapes and read back intact
+    // — a single raw control byte makes the whole document invalid.
+    for (int c = 0; c < 0x20; ++c) {
+        const std::string raw(1, char(c));
+        const std::string escaped = jsonEscape(raw);
+        for (const char b : escaped)
+            EXPECT_GE(static_cast<unsigned char>(b), 0x20u)
+                << "raw control byte " << c << " in '" << escaped
+                << "'";
+        EXPECT_EQ(parseOk("\"" + escaped + "\"").asString(), raw)
+            << "c=" << c;
+    }
+}
+
+TEST(JsonParser, UnicodeEscapeRoundTrip)
+{
+    // \uXXXX the parser accepts must survive re-emission: parse to
+    // UTF-8, escape, parse again, same bytes.
+    for (const char *literal :
+         {"\"\\u0000\"", "\"\\u0007\"", "\"\\u001f\"", "\"\\u0041\"",
+          "\"\\u00e9\"", "\"\\u20ac\"", "\"\\uffff\""}) {
+        const std::string once = parseOk(literal).asString();
+        const std::string twice =
+            parseOk("\"" + jsonEscape(once) + "\"").asString();
+        EXPECT_EQ(twice, once) << literal;
+    }
+}
+
+TEST(JsonParser, FuzzedByteStringsRoundTrip)
+{
+    // Seeded fuzz: arbitrary byte strings — control bytes, quotes,
+    // backslashes, high bytes — must survive escape -> parse exactly.
+    Rng rng(0x6a736f6e66757a7aull);
+    for (int iter = 0; iter < 500; ++iter) {
+        std::string raw;
+        const std::size_t len = rng.below(64);
+        for (std::size_t i = 0; i < len; ++i)
+            raw.push_back(char(rng.below(256)));
+        const JsonValue parsed =
+            parseOk("\"" + jsonEscape(raw) + "\"");
+        ASSERT_EQ(parsed.asString(), raw) << "iteration " << iter;
+    }
+}
+
+TEST(TraceLogJson, EventNamesWithOddBytesStayValidJson)
+{
+    // Trace event names/categories pass through jsonEscape: an
+    // instrumentation site with a quote or control byte in its name
+    // must still produce a parseable Chrome trace document.
+    TraceLog log(16);
+    log.nameTrack(1, "core \"zero\"\n");
+    log.complete("fill\tline\x01", "cat\"egory", 1, 10, 5, 0x40);
+    log.instant("drop\x1f", "ev\\ent", 1, 20);
+    std::ostringstream os;
+    log.write(os);
+
+    const JsonValue doc = parseOk(os.str());
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->size(), 3u);
+    EXPECT_EQ(events->elements()[1].find("name")->asString(),
+              "fill\tline\x01");
+    EXPECT_EQ(events->elements()[1].find("cat")->asString(),
+              "cat\"egory");
+    EXPECT_EQ(events->elements()[2].find("name")->asString(),
+              "drop\x1f");
+    EXPECT_EQ(events->elements()[2].find("cat")->asString(),
+              "ev\\ent");
 }
 
 TEST(JsonParser, RejectsMalformedDocuments)

@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "common/json.hh"
 #include "common/stat_registry.hh"
@@ -131,6 +134,100 @@ TEST(EpochSeries, CounterDeltasSumToTotals)
     EXPECT_DOUBLE_EQ(recorded, double(delta_sum));
     // Deltas are measured from the baseline, not from zero.
     EXPECT_DOUBLE_EQ(recorded, double(ticks) - 100.0);
+}
+
+TEST(EpochSeries, PartialFinalEpochStillSumsToTotals)
+{
+    // A measured window of 8 accesses sampled every 3 produces epochs
+    // of 3, 3 and 2: the short final epoch must keep counter deltas
+    // summing exactly to the run totals, and stay rectangular.
+    StatRegistry registry;
+    std::uint64_t reads = 40; // warm-up residue before baseline
+    registry.counter("reads", &reads);
+
+    EpochSeries epochs;
+    epochs.baseline(registry);
+
+    const std::uint64_t window = 8;
+    const std::uint64_t epoch = 3;
+    std::uint64_t done = 0;
+    while (done < window) {
+        const std::uint64_t chunk = std::min(epoch, window - done);
+        reads += 2 * chunk; // 2 counted events per access
+        done += chunk;
+        epochs.sample(registry, chunk);
+    }
+
+    ASSERT_EQ(epochs.records().size(), 3u);
+    EXPECT_EQ(epochs.records()[0].accessesPerCore, 3u);
+    EXPECT_EQ(epochs.records()[1].accessesPerCore, 3u);
+    EXPECT_EQ(epochs.records()[2].accessesPerCore, 2u);
+
+    double delta_sum = 0.0;
+    std::uint64_t accesses = 0;
+    for (const auto &record : epochs.records()) {
+        ASSERT_EQ(record.values.size(), 1u);
+        delta_sum += record.values[0];
+        accesses += record.accessesPerCore;
+    }
+    EXPECT_EQ(accesses, window);
+    EXPECT_DOUBLE_EQ(delta_sum, double(reads) - 40.0);
+}
+
+TEST(EpochSeries, EpochLargerThanWindowYieldsOnePartialEpoch)
+{
+    StatRegistry registry;
+    std::uint64_t reads = 0;
+    registry.counter("reads", &reads);
+    EpochSeries epochs;
+    epochs.baseline(registry);
+
+    // window 5, epoch 1000: the only epoch is the partial one.
+    reads = 5;
+    epochs.sample(registry, 5);
+    ASSERT_EQ(epochs.records().size(), 1u);
+    EXPECT_EQ(epochs.records()[0].accessesPerCore, 5u);
+    EXPECT_DOUBLE_EQ(epochs.records()[0].values[0], 5.0);
+}
+
+TEST(StatRegistry, FrozenRegistryIsSafeForConcurrentReaders)
+{
+    // The sweep engine runs one registry per run, but a frozen
+    // registry is also read from multiple threads by report emission
+    // in tests and tooling: freeze() must leave a self-contained,
+    // immutable snapshot. Run under tsan, this pins the absence of
+    // races between concurrent readers.
+    StatRegistry registry;
+    std::uint64_t reads = 123;
+    double rate = 0.25;
+    Histogram hist(0.0, 16.0, 8);
+    for (int i = 0; i < 64; ++i)
+        hist.record(double(i % 16));
+    registry.counter("reads", &reads);
+    registry.gauge("rate", [&rate]() { return rate; });
+    registry.histogram("lat", &hist);
+    registry.freeze();
+
+    std::vector<std::string> reports(8);
+    {
+        std::vector<std::thread> readers;
+        for (std::size_t t = 0; t < reports.size(); ++t) {
+            readers.emplace_back([&, t]() {
+                std::ostringstream os;
+                registry.dumpText(os, "unit");
+                for (std::size_t i = 0; i < registry.numScalars(); ++i)
+                    os << registry.scalarValue(i);
+                const HistogramSnapshot snap =
+                    registry.histogramSnapshot(0);
+                os << snap.count << snap.mean;
+                reports[t] = os.str();
+            });
+        }
+        for (std::thread &reader : readers)
+            reader.join();
+    }
+    for (std::size_t t = 1; t < reports.size(); ++t)
+        EXPECT_EQ(reports[t], reports[0]);
 }
 
 TEST(EpochSeries, StaysRectangularAcrossLateRegistration)

@@ -151,6 +151,53 @@ TEST(ExpHistogram, MeanAndReset)
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
+TEST(Histogram, PercentileSingleSampleAndP100StayInRange)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.record(3.0); // bucket [2, 4)
+    // Every percentile of one sample stays inside its bucket; p100
+    // must not run past the histogram's upper edge.
+    EXPECT_GE(h.percentile(0.0), 2.0);
+    EXPECT_LE(h.percentile(1.0), 4.0);
+    for (int i = 0; i < 50; ++i)
+        h.record(9.9);
+    EXPECT_LE(h.percentile(1.0), 10.0);
+}
+
+TEST(ExpHistogram, PercentileNeverExceedsMax)
+{
+    // Regression: interpolation runs to the bucket's exclusive upper
+    // edge, so p100 used to report max() + 1.
+    ExpHistogram single;
+    single.record(5); // bucket [4, 8)
+    EXPECT_LE(single.percentile(1.0), 5.0);
+    EXPECT_GE(single.percentile(1.0), 4.0);
+
+    ExpHistogram zero;
+    zero.record(0); // a lone zero sample used to report p100 = 1
+    EXPECT_DOUBLE_EQ(zero.percentile(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(zero.percentile(0.5), 0.0);
+
+    ExpHistogram many;
+    for (std::uint64_t v = 1; v <= 300; ++v)
+        many.record(v);
+    for (const double p : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_LE(many.percentile(p), double(many.max())) << "p=" << p;
+}
+
+TEST(ExpHistogram, PercentileSingleSampleIsMonotone)
+{
+    ExpHistogram h;
+    h.record(100);
+    double prev = -1.0;
+    for (const double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+        const double value = h.percentile(p);
+        EXPECT_GE(value, prev) << "p=" << p;
+        EXPECT_LE(value, 100.0) << "p=" << p;
+        prev = value;
+    }
+}
+
 TEST(ExpHistogram, PercentileEmptyAndMonotone)
 {
     ExpHistogram h;

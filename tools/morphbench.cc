@@ -12,7 +12,7 @@
  *
  * Usage:
  *   morphbench [--quick] [--out FILE] [--rev NAME]
- *              [--accesses N] [--warmup N]
+ *              [--accesses N] [--warmup N] [--jobs N]
  *   morphbench --compare BASE.json NEW.json [--tolerance F]
  *
  * The run mode writes BENCH_<rev>.json by default. The quick matrix
@@ -20,6 +20,11 @@
  * every evaluation config. Determinism: the simulator is seeded, so
  * identical code produces identical numbers — the tolerance exists
  * for intentional model changes, which must update the baseline.
+ * Matrix cells are independent simulations, so --jobs N (default:
+ * hardware concurrency) runs them on a work-stealing pool; cells are
+ * collected in matrix order, so the written JSON is byte-identical
+ * at every --jobs level (pinned by the morphbench_jobs_determinism
+ * tier-1 test).
  *
  * Exit codes: 0 success, 1 drift or comparison failure, 2 bad
  * command line, 4 I/O failure.
@@ -29,11 +34,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/json.hh"
+#include "common/run_pool.hh"
 #include "sim/simulator.hh"
 
 namespace
@@ -83,45 +90,67 @@ treeByName(const std::string &name)
 int
 runMatrix(bool quick, const std::string &out_path,
           const std::string &rev, std::uint64_t accesses,
-          std::uint64_t warmup)
+          std::uint64_t warmup, unsigned jobs)
 {
     const BenchCase *cases = quick ? quickMatrix : fullMatrix;
     const std::size_t count = quick
                                   ? std::size(quickMatrix)
                                   : std::size(fullMatrix);
 
+    // Validate config names up front: treeByName exits on an unknown
+    // name, and that must not happen from a pool worker.
+    for (std::size_t i = 0; i < count; ++i)
+        (void)treeByName(cases[i].config);
+
+    // Every cell is an independent simulation; render each one's JSON
+    // fragment on the pool, then join in matrix order so the document
+    // is byte-identical at every --jobs level. Seeds come from the
+    // cell's fixed SimOptions, never from scheduling.
+    std::mutex progress_lock;
+    std::size_t started = 0;
+    SweepEngine engine(jobs);
+    const std::vector<std::string> cells =
+        engine.map<std::string>(count, [&](std::size_t i) {
+            const BenchCase &c = cases[i];
+            {
+                std::lock_guard<std::mutex> guard(progress_lock);
+                std::fprintf(stderr,
+                             "morphbench: [%zu/%zu] %s/%s\n",
+                             ++started, count, c.workload, c.config);
+            }
+
+            SecureModelConfig secmem;
+            secmem.tree = treeByName(c.config);
+            SimOptions options;
+            options.accessesPerCore = accesses;
+            options.warmupPerCore = warmup;
+
+            const SimResult r = runByName(c.workload, secmem, options);
+
+            std::ostringstream cell;
+            cell << "{\"workload\": \"" << c.workload
+                 << "\", \"config\": \"" << c.config
+                 << "\", \"ipc\": " << jsonNumber(r.ipc)
+                 << ", \"bloat\": " << jsonNumber(r.bloat())
+                 << ", \"overflows_per_million\": "
+                 << jsonNumber(r.overflowsPerMillion())
+                 << ", \"cycles\": " << r.cycles
+                 << ", \"dram_reads\": " << r.dram.reads
+                 << ", \"dram_writes\": " << r.dram.writes
+                 << ", \"mdcache_hit_rate\": "
+                 << jsonNumber(r.metadataCache.hitRate()) << "}";
+            return cell.str();
+        });
+
     std::ostringstream os;
     os << "{\n  \"schema\": \"morphbench-v1\",\n  \"rev\": \""
        << jsonEscape(rev) << "\",\n  \"accesses_per_core\": "
        << accesses << ",\n  \"warmup_per_core\": " << warmup
        << ",\n  \"cells\": [";
-
     for (std::size_t i = 0; i < count; ++i) {
-        const BenchCase &c = cases[i];
-        std::fprintf(stderr, "morphbench: [%zu/%zu] %s/%s\n", i + 1,
-                     count, c.workload, c.config);
-
-        SecureModelConfig secmem;
-        secmem.tree = treeByName(c.config);
-        SimOptions options;
-        options.accessesPerCore = accesses;
-        options.warmupPerCore = warmup;
-
-        const SimResult r = runByName(c.workload, secmem, options);
-
         if (i)
             os << ",";
-        os << "\n    {\"workload\": \"" << c.workload
-           << "\", \"config\": \"" << c.config
-           << "\", \"ipc\": " << jsonNumber(r.ipc)
-           << ", \"bloat\": " << jsonNumber(r.bloat())
-           << ", \"overflows_per_million\": "
-           << jsonNumber(r.overflowsPerMillion())
-           << ", \"cycles\": " << r.cycles
-           << ", \"dram_reads\": " << r.dram.reads
-           << ", \"dram_writes\": " << r.dram.writes
-           << ", \"mdcache_hit_rate\": "
-           << jsonNumber(r.metadataCache.hitRate()) << "}";
+        os << "\n    " << cells[i];
     }
     os << "\n  ]\n}\n";
 
@@ -262,6 +291,9 @@ usage()
         "  --rev NAME          revision label (default 'local')\n"
         "  --accesses N        measured accesses per core\n"
         "  --warmup N          warm-up accesses per core\n"
+        "  --jobs N            run matrix cells on N worker threads\n"
+        "                      (default: hardware concurrency; output\n"
+        "                      is byte-identical at every level)\n"
         "  --compare BASE NEW  compare two bench documents\n"
         "  --tolerance F       max relative drift (default 0.05)\n");
 }
@@ -279,6 +311,7 @@ main(int argc, char **argv)
     double tolerance = 0.05;
     std::uint64_t accesses = 20'000;
     std::uint64_t warmup = 5'000;
+    unsigned jobs = RunPool::hardwareJobs();
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -301,6 +334,14 @@ main(int argc, char **argv)
             accesses = std::uint64_t(std::atoll(value()));
         } else if (arg == "--warmup") {
             warmup = std::uint64_t(std::atoll(value()));
+        } else if (arg == "--jobs") {
+            const long long v = std::atoll(value());
+            if (v < 1) {
+                std::fprintf(stderr,
+                             "morphbench: --jobs needs a value >= 1\n");
+                return 2;
+            }
+            jobs = unsigned(v);
         } else if (arg == "--compare") {
             compare_base = value();
             compare_new = value();
@@ -322,5 +363,5 @@ main(int argc, char **argv)
 
     if (out_path.empty())
         out_path = "BENCH_" + rev + ".json";
-    return runMatrix(quick, out_path, rev, accesses, warmup);
+    return runMatrix(quick, out_path, rev, accesses, warmup, jobs);
 }

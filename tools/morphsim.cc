@@ -10,12 +10,20 @@
  * stats document, an epoch time series, and a Chrome trace of sampled
  * request lifecycles (see docs/OBSERVABILITY.md).
  *
+ * --sweep runs one workload against a comma-separated list of
+ * configurations (or "all") as independent parallel runs on a
+ * RunPool (--jobs N). Each run owns its MorphScope/StatRegistry and
+ * derives its RNG seed from the (workload, config) key via
+ * sweepSeed(), so report text and exports are byte-identical at any
+ * --jobs level; exports gain a ".<config>" suffix per run.
+ *
  * Examples:
  *   morphsim --workload mcf --config morph
  *   morphsim --workload mix2 --config vault --cache-kb 64 --timing 0
  *   morphsim --trace my.trc --config sc64 --accesses 500000
  *   morphsim --workload mcf --epoch 50000 --stats-json out.json \
  *            --trace-out trace.json
+ *   morphsim --workload mcf --sweep sc64,vault,morph --jobs 4
  *   morphsim --list
  *
  * Exit codes: 0 success, 2 bad command line, 3 bad configuration
@@ -29,9 +37,12 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <sstream>
+#include <vector>
 
 #include "common/ini.hh"
 #include "common/log.hh"
+#include "common/run_pool.hh"
 #include "sim/simulator.hh"
 
 namespace
@@ -74,6 +85,11 @@ usage()
         "                      request lifecycles\n"
         "  --trace-sample N    trace 1-in-N data accesses\n"
         "                      (default 64; 1 = every access)\n"
+        "  --sweep LIST        run the workload against a comma-\n"
+        "                      separated config list (or 'all') as\n"
+        "                      independent parallel runs\n"
+        "  --jobs N            worker threads for --sweep (default:\n"
+        "                      hardware concurrency)\n"
         "  --list              list workloads and exit\n");
 }
 
@@ -222,6 +238,135 @@ badFlag(const char *fmt, const char *detail)
     std::exit(exitBadFlag);
 }
 
+/** Parse a non-negative integer option value; exits with code 2 on
+ *  junk or negative input (atoll would silently wrap "-3" to a huge
+ *  unsigned count instead). */
+std::uint64_t
+parseCount(const std::string &arg, const char *text)
+{
+    char *end = nullptr;
+    const long long v = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || v < 0)
+        badFlag("option %s needs a non-negative integer",
+                arg.c_str());
+    return std::uint64_t(v);
+}
+
+/** Expand a --sweep list ("all" or comma-separated names) into
+ *  config names; exits with code 3 on an unknown name. */
+std::vector<std::string>
+sweepConfigs(const std::string &list)
+{
+    static const char *all[] = {"sc64",   "vault", "morph", "morph-zcc",
+                                "sc128",  "sgx",   "bmt"};
+    std::vector<std::string> names;
+    if (list == "all") {
+        names.assign(std::begin(all), std::end(all));
+        return names;
+    }
+    std::stringstream stream(list);
+    std::string item;
+    while (std::getline(stream, item, ','))
+        if (!item.empty())
+            names.push_back(item);
+    if (names.empty()) {
+        std::fprintf(stderr, "morphsim: --sweep needs a config list\n");
+        std::exit(exitBadFlag);
+    }
+    for (const std::string &name : names) {
+        TreeConfig probe;
+        if (!configByName(name, probe)) {
+            std::fprintf(stderr,
+                         "morphsim: unknown config '%s' in --sweep\n",
+                         name.c_str());
+            std::exit(exitBadConfig);
+        }
+    }
+    return names;
+}
+
+/** Everything one parallel sweep run produces, collected on the
+ *  worker and emitted in config-list order by the driver. */
+struct SweepRun
+{
+    std::string report;     ///< header + dumpText output
+    std::string writeError; ///< first failed export path, if any
+};
+
+/** Run one workload against several configs as independent parallel
+ *  runs. Per-run MorphScope/StatRegistry instances, seeds derived
+ *  from the (workload, config) key, output flushed in list order:
+ *  byte-identical at any --jobs level. */
+int
+runSweep(const std::vector<std::string> &configs,
+         const std::string &workload, const std::string &trace_path,
+         const SecureModelConfig &base_secmem,
+         const SimOptions &base_options,
+         const ScopeConfig &scope_config,
+         const std::string &stats_json_path,
+         const std::string &stats_csv_path, unsigned jobs)
+{
+    const std::string key_base =
+        trace_path.empty() ? workload : trace_path;
+    SweepEngine engine(jobs);
+    std::vector<SweepRun> runs;
+    try {
+        runs = engine.map<SweepRun>(
+            configs.size(), [&](std::size_t i) {
+                const std::string &name = configs[i];
+                SecureModelConfig secmem = base_secmem;
+                configByName(name, secmem.tree);
+                SimOptions options = base_options;
+                options.seed =
+                    sweepSeed(key_base + "/" + name, base_options.seed);
+
+                MorphScope scope(scope_config);
+                const SimResult result =
+                    trace_path.empty()
+                        ? runByName(workload, secmem, options, &scope)
+                        : runTraceFile(trace_path, secmem, options,
+                                       &scope);
+
+                SweepRun run;
+                std::ostringstream text;
+                text << "# " << result.configName << " on "
+                     << result.workload << "\n";
+                scope.dumpText(text, "morphsim");
+                run.report = text.str();
+
+                if (!stats_json_path.empty()) {
+                    const std::string path =
+                        stats_json_path + "." + name;
+                    if (!scope.writeStatsJson(path))
+                        run.writeError = path;
+                }
+                if (!stats_csv_path.empty() &&
+                    run.writeError.empty()) {
+                    const std::string path =
+                        stats_csv_path + "." + name;
+                    if (!scope.writeStatsCsv(path))
+                        run.writeError = path;
+                }
+                return run;
+            });
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "morphsim: sweep failed: %s\n", e.what());
+        return exitRuntime;
+    }
+
+    for (const SweepRun &run : runs)
+        std::fputs(run.report.c_str(), stdout);
+    std::fflush(stdout);
+    for (const SweepRun &run : runs) {
+        if (!run.writeError.empty()) {
+            std::fprintf(stderr, "morphsim: cannot write %s\n",
+                         run.writeError.c_str());
+            return exitRuntime;
+        }
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -237,6 +382,8 @@ main(int argc, char **argv)
     SimOptions options = SimOptions::fromEnv();
     ScopeConfig scope_config;
     std::uint64_t trace_sample = 64;
+    std::string sweep_list;
+    unsigned jobs = 0; // 0 = RunPool::hardwareJobs()
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -281,8 +428,7 @@ main(int argc, char **argv)
         } else if (arg == "--occupancy") {
             scope_config.occupancy = true;
         } else if (arg == "--epoch") {
-            scope_config.epochAccesses =
-                std::uint64_t(std::atoll(value()));
+            scope_config.epochAccesses = parseCount(arg, value());
         } else if (arg == "--stats-json") {
             stats_json_path = value();
         } else if (arg == "--stats-csv") {
@@ -290,9 +436,16 @@ main(int argc, char **argv)
         } else if (arg == "--trace-out") {
             trace_out_path = value();
         } else if (arg == "--trace-sample") {
-            trace_sample = std::uint64_t(std::atoll(value()));
+            trace_sample = parseCount(arg, value());
             if (trace_sample == 0)
                 badFlag("option %s needs a value >= 1", arg.c_str());
+        } else if (arg == "--sweep") {
+            sweep_list = value();
+        } else if (arg == "--jobs") {
+            const std::uint64_t v = parseCount(arg, value());
+            if (v == 0)
+                badFlag("option %s needs a value >= 1", arg.c_str());
+            jobs = unsigned(v);
         } else if (arg == "--list") {
             listWorkloads();
             return 0;
@@ -331,6 +484,14 @@ main(int argc, char **argv)
 
     if (!trace_out_path.empty())
         scope_config.traceSampleEvery = trace_sample;
+
+    if (!sweep_list.empty()) {
+        if (!trace_out_path.empty())
+            badFlag("%s is not supported with --sweep", "--trace-out");
+        return runSweep(sweepConfigs(sweep_list), workload, trace_path,
+                        secmem, options, scope_config,
+                        stats_json_path, stats_csv_path, jobs);
+    }
 
     MorphScope scope(scope_config);
     SimResult result;

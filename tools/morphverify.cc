@@ -38,6 +38,13 @@
  * unreported reset, a stale payload encoding, a wrong width bucket —
  * and are wired as WILL_FAIL CTest cases proving the checker fires.
  *
+ * --jobs N checks models in parallel on a RunPool, one model per
+ * shard: each model keeps its whole BFS (visited set, frontier,
+ * budget) intact, so visited/edge counts and every WILL_FAIL
+ * broken-variant verdict are identical to the serial run. Violation
+ * and summary text is buffered per model and flushed in command-line
+ * order, byte-identical at any --jobs level.
+ *
  * Exit status: 0 when every check passes, 1 on any violation, 2 on
  * usage errors.
  */
@@ -54,6 +61,7 @@
 #include <vector>
 
 #include "common/bitfield.hh"
+#include "common/run_pool.hh"
 #include "common/types.hh"
 #include "counters/counter_factory.hh"
 #include "counters/morph_counter.hh"
@@ -150,6 +158,18 @@ hexImage(const CachelineData &line)
     return out;
 }
 
+/**
+ * Buffered output of one model's verification run. Workers fill these
+ * in parallel; the driver flushes them in command-line order so the
+ * report is byte-identical to a serial run.
+ */
+struct ModelReport
+{
+    std::string violations; ///< stderr text (violation details)
+    std::string summary;    ///< stdout text (per-model summary line)
+    int status = 0;         ///< 0 clean, 1 violations found
+};
+
 class Verifier
 {
   public:
@@ -165,18 +185,15 @@ class Verifier
         ++violations_;
         if (violations_ > maxPrintedViolations) {
             if (violations_ == maxPrintedViolations + 1)
-                std::fprintf(stderr,
-                             "morphverify: [%s] further violations "
-                             "suppressed\n",
-                             model_.name().c_str());
+                err_ += "morphverify: [" + model_.name() +
+                        "] further violations suppressed\n";
             return;
         }
-        std::fprintf(stderr, "morphverify: VIOLATION [%s]%s%d: %s\n",
-                     model_.name().c_str(),
-                     slot >= 0 ? " slot " : " state", slot >= 0 ? slot : 0,
-                     what.c_str());
-        std::fprintf(stderr, "  state image:\n%s\n",
-                     hexImage(state).c_str());
+        err_ += "morphverify: VIOLATION [" + model_.name() + "]" +
+                (slot >= 0 ? " slot " + std::to_string(slot)
+                           : std::string(" state 0")) +
+                ": " + what + "\n";
+        err_ += "  state image:\n" + hexImage(state) + "\n";
     }
 
     /** Checks on a state itself: canonicity + schedule. */
@@ -324,13 +341,27 @@ class Verifier
         }
 
         if (!quiet_) {
-            std::printf(
+            char line[256];
+            std::snprintf(
+                line, sizeof(line),
                 "morphverify: %-8s visited=%" PRIu64 " edges=%" PRIu64
                 " %s violations=%" PRIu64 "\n",
                 model_.name().c_str(), visited_, edges_,
                 truncated_ ? "bounded-by-budget" : "state-space-closed",
                 violations_);
+            out_ += line;
         }
+    }
+
+    /** Move the buffered run output into a flushable report. */
+    ModelReport
+    takeReport()
+    {
+        ModelReport report;
+        report.violations = std::move(err_);
+        report.summary = std::move(out_);
+        report.status = violations_ == 0 ? 0 : 1;
+        return report;
     }
 
     std::uint64_t violations() const { return violations_; }
@@ -358,6 +389,8 @@ class Verifier
     const TransitionModel &model_;
     std::uint64_t budget_;
     bool quiet_;
+    std::string err_; ///< buffered violation text
+    std::string out_; ///< buffered summary text
     std::unordered_set<StateFingerprint, FingerprintHash> seen_;
     std::uint64_t visited_ = 0;
     std::uint64_t edges_ = 0;
@@ -542,6 +575,9 @@ usage()
         "                  violations, used as WILL_FAIL fixtures\n"
         "  --budget N      max canonical states per model "
         "(default 200000)\n"
+        "  --jobs N        check models in parallel (default:\n"
+        "                  hardware concurrency); output and exit\n"
+        "                  status are independent of N\n"
         "  --quiet         suppress per-model summaries\n"
         "  --list          print model names and exit\n"
         "Exhaustively explores the counter-format transition relation\n"
@@ -550,12 +586,12 @@ usage()
         "schedule on every edge. Exits 1 on any violation.\n");
 }
 
-int
+ModelReport
 runModel(const TransitionModel &model, std::uint64_t budget, bool quiet)
 {
     Verifier verifier(model, budget, quiet);
     verifier.run();
-    return verifier.violations() == 0 ? 0 : 1;
+    return verifier.takeReport();
 }
 
 } // namespace
@@ -566,6 +602,7 @@ main(int argc, char **argv)
     std::vector<std::string> formats;
     std::vector<std::string> broken;
     std::uint64_t budget = 200000;
+    unsigned jobs = 0; // 0 = RunPool::hardwareJobs()
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -576,6 +613,15 @@ main(int argc, char **argv)
             broken.push_back(argv[++i]);
         } else if (arg == "--budget" && i + 1 < argc) {
             budget = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            const long long v = std::atoll(argv[++i]);
+            if (v < 1) {
+                std::fprintf(stderr,
+                             "morphverify: --jobs needs a value"
+                             " >= 1\n");
+                return 2;
+            }
+            jobs = unsigned(v);
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--list") {
@@ -599,25 +645,42 @@ main(int argc, char **argv)
     if (formats.size() == 1 && formats[0] == "all")
         formats = transitionModelNames();
 
-    int status = 0;
+    // Resolve every model up front so bad names exit before any work
+    // starts (and never from a worker thread).
+    std::vector<std::unique_ptr<TransitionModel>> models;
     for (const std::string &name : formats) {
-        const auto model = makeNamedTransitionModel(name);
+        auto model = makeNamedTransitionModel(name);
         if (!model) {
             std::fprintf(stderr, "morphverify: unknown format '%s'\n",
                          name.c_str());
             return 2;
         }
-        status |= runModel(*model, budget, quiet);
+        models.push_back(std::move(model));
     }
     for (const std::string &name : broken) {
-        const auto model = makeBrokenModel(name);
+        auto model = makeBrokenModel(name);
         if (!model) {
             std::fprintf(stderr,
                          "morphverify: unknown broken variant '%s'\n",
                          name.c_str());
             return 2;
         }
-        status |= runModel(*model, budget, quiet);
+        models.push_back(std::move(model));
+    }
+
+    // One shard per model: each keeps its whole BFS (visited set,
+    // frontier, budget), so results match the serial run exactly.
+    // Reports flush in command-line order below.
+    SweepEngine engine(jobs);
+    const std::vector<ModelReport> reports = engine.map<ModelReport>(
+        models.size(),
+        [&](std::size_t i) { return runModel(*models[i], budget, quiet); });
+
+    int status = 0;
+    for (const ModelReport &report : reports) {
+        std::fputs(report.violations.c_str(), stderr);
+        std::fputs(report.summary.c_str(), stdout);
+        status |= report.status;
     }
     return status;
 }
