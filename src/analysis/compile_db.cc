@@ -1,0 +1,41 @@
+#include "analysis/compile_db.hh"
+
+#include <algorithm>
+
+#include "common/json.hh"
+
+namespace morph::analysis
+{
+
+bool
+readCompileDb(const std::string &json_text,
+              std::vector<std::string> &files, std::string &error)
+{
+    bool ok = false;
+    const JsonValue root = jsonParse(json_text, ok, error);
+    if (!ok)
+        return false;
+    if (!root.isArray()) {
+        error = "compile database root is not a JSON array";
+        return false;
+    }
+    for (const JsonValue &entry : root.elements()) {
+        if (!entry.isObject())
+            continue;
+        const JsonValue *file = entry.find("file");
+        if (file == nullptr || !file->isString())
+            continue;
+        std::string path = file->asString();
+        if (!path.empty() && path.front() != '/') {
+            const JsonValue *dir = entry.find("directory");
+            if (dir != nullptr && dir->isString())
+                path = dir->asString() + "/" + path;
+        }
+        files.push_back(std::move(path));
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    return true;
+}
+
+} // namespace morph::analysis

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Reader for CMake's compile_commands.json: the authoritative list of
+ * translation units morphflow analyzes. Only the `file` and
+ * `directory` fields are consumed — the analyzer does not run the
+ * compiler, it just needs the resolved source paths.
+ */
+
+#ifndef MORPH_ANALYSIS_COMPILE_DB_HH
+#define MORPH_ANALYSIS_COMPILE_DB_HH
+
+#include <string>
+#include <vector>
+
+namespace morph::analysis
+{
+
+/** Parse @p json_text (contents of a compile_commands.json) and
+ *  return the sorted, de-duplicated list of absolute source paths.
+ *  Relative `file` entries are resolved against their `directory`.
+ *  Returns false and sets @p error on malformed input. */
+bool readCompileDb(const std::string &json_text,
+                   std::vector<std::string> &files, std::string &error);
+
+} // namespace morph::analysis
+
+#endif // MORPH_ANALYSIS_COMPILE_DB_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Interprocedural secret-flow and determinism analysis for morphflow.
+ *
+ * The analyzer consumes a batch of source files, builds the per-file
+ * structural model (source_model.hh), and runs a name-based taint
+ * fixed point across the whole batch: MORPH_SECRET annotations seed
+ * taint; assignments, calls, and returns propagate it; functions that
+ * `return MORPH_DECLASSIFY(...)` are declassification boundaries whose
+ * call sites yield public values.
+ *
+ * Rule families (IDs are what waiver comments name):
+ *  - secret-branch     secret value in a branch/loop/ternary condition
+ *  - secret-subscript  secret value used as an array subscript
+ *  - secret-log        secret value passed to a logging/printf call
+ *  - secret-wipe       annotated local leaves scope without a wipe
+ *  - secret-member-wipe annotated member/global with no wipe anywhere
+ *  - nondet-call       rand()/time()/std::random_device and friends
+ *  - nondet-iter       range-for over an unordered container
+ *
+ * The determinism family only runs on files whose `determinismScope`
+ * flag is set (src/sim, src/secmem, bench/, tools/, and any file named
+ * explicitly on the morphflow command line).
+ */
+
+#ifndef MORPH_ANALYSIS_FLOW_ANALYZER_HH
+#define MORPH_ANALYSIS_FLOW_ANALYZER_HH
+
+#include <string>
+#include <vector>
+
+namespace morph::analysis
+{
+
+/** One input file for an analysis batch. */
+struct SourceText
+{
+    std::string path;
+    std::string text;
+    /** Apply the nondet-call / nondet-iter rules to this file. */
+    bool determinismScope = false;
+};
+
+/** One rule violation (or waived violation). */
+struct Finding
+{
+    std::string rule;    ///< rule ID, e.g. "secret-branch"
+    std::string file;
+    std::string symbol;  ///< offending identifier, may be empty
+    std::string message; ///< human-readable description
+    unsigned line = 0;
+    bool waived = false;
+};
+
+/** The outcome of analyzing a batch of sources. */
+struct AnalysisResult
+{
+    std::vector<Finding> findings; ///< unwaived — these fail the run
+    std::vector<Finding> waived;   ///< suppressed by allow() comments
+};
+
+/** Analyze @p sources as one batch (taint propagates across files). */
+AnalysisResult analyzeSources(const std::vector<SourceText> &sources);
+
+} // namespace morph::analysis
+
+#endif // MORPH_ANALYSIS_FLOW_ANALYZER_HH

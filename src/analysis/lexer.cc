@@ -1,0 +1,299 @@
+#include "analysis/lexer.hh"
+
+#include <cctype>
+
+namespace morph::analysis
+{
+
+namespace
+{
+
+/** Multi-character operators we keep as single Punct tokens. The
+ *  analyzer needs `::`, `->`, `==` vs `=`, and shift/compound-assign
+ *  operators to stay whole; everything else can split. */
+const char *const multiOps[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>",
+    "<=", ">=",   "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=",
+    "%=", "^=",   "&=",  "|=",
+};
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Lexer
+{
+  public:
+    Lexer(const std::string &path, const std::string &text)
+        : text_(text)
+    {
+        out_.path = path;
+    }
+
+    LexedSource
+    run()
+    {
+        while (pos_ < text_.size())
+            step();
+        return std::move(out_);
+    }
+
+  private:
+    char peek(std::size_t ahead = 0) const
+    {
+        return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+    }
+
+    void
+    advance()
+    {
+        if (text_[pos_] == '\n')
+            ++line_;
+        ++pos_;
+    }
+
+    void
+    addComment(unsigned line, const std::string &body)
+    {
+        std::string &slot = out_.comments[line];
+        if (!slot.empty())
+            slot += ' ';
+        slot += body;
+    }
+
+    /** True if the only tokens so far on this line are none (i.e. the
+     *  '#' begins a directive). */
+    bool
+    atLineStart() const
+    {
+        return out_.tokens.empty() || out_.tokens.back().line != line_;
+    }
+
+    void
+    skipLineComment()
+    {
+        const unsigned start = line_;
+        std::string body;
+        advance(); // first '/'
+        advance(); // second '/'
+        while (pos_ < text_.size() && peek() != '\n') {
+            body += peek();
+            advance();
+        }
+        addComment(start, body);
+    }
+
+    void
+    skipBlockComment()
+    {
+        unsigned current = line_;
+        std::string body;
+        advance(); // '/'
+        advance(); // '*'
+        while (pos_ < text_.size()) {
+            if (peek() == '*' && peek(1) == '/') {
+                advance();
+                advance();
+                break;
+            }
+            if (peek() == '\n') {
+                addComment(current, body);
+                body.clear();
+                current = line_ + 1;
+            } else {
+                body += peek();
+            }
+            advance();
+        }
+        if (!body.empty())
+            addComment(current, body);
+    }
+
+    /** Preprocessor directive: consume to end of line, honouring
+     *  backslash continuations. Comments inside still register. */
+    void
+    skipDirective()
+    {
+        while (pos_ < text_.size()) {
+            if (peek() == '/' && peek(1) == '/') {
+                skipLineComment();
+                continue;
+            }
+            if (peek() == '/' && peek(1) == '*') {
+                skipBlockComment();
+                continue;
+            }
+            if (peek() == '\\' && peek(1) == '\n') {
+                advance();
+                advance();
+                continue;
+            }
+            if (peek() == '\n') {
+                advance();
+                return;
+            }
+            advance();
+        }
+    }
+
+    void
+    lexQuoted(char quote, Tok kind)
+    {
+        const unsigned start = line_;
+        std::string body;
+        body += peek();
+        advance();
+        while (pos_ < text_.size()) {
+            const char c = peek();
+            if (c == '\\') {
+                body += c;
+                advance();
+                if (pos_ < text_.size()) {
+                    body += peek();
+                    advance();
+                }
+                continue;
+            }
+            body += c;
+            advance();
+            if (c == quote)
+                break;
+        }
+        out_.tokens.push_back({kind, body, start});
+    }
+
+    void
+    lexRawString()
+    {
+        const unsigned start = line_;
+        std::string body = "R\"";
+        advance(); // R
+        advance(); // "
+        std::string delim;
+        while (pos_ < text_.size() && peek() != '(') {
+            delim += peek();
+            body += peek();
+            advance();
+        }
+        const std::string close = ")" + delim + "\"";
+        while (pos_ < text_.size()) {
+            if (text_.compare(pos_, close.size(), close) == 0) {
+                body += close;
+                for (std::size_t i = 0; i < close.size(); ++i)
+                    advance();
+                break;
+            }
+            body += peek();
+            advance();
+        }
+        out_.tokens.push_back({Tok::String, body, start});
+    }
+
+    void
+    step()
+    {
+        const char c = peek();
+        if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+            return;
+        }
+        if (c == '/' && peek(1) == '/') {
+            skipLineComment();
+            return;
+        }
+        if (c == '/' && peek(1) == '*') {
+            skipBlockComment();
+            return;
+        }
+        if (c == '#' && atLineStart()) {
+            skipDirective();
+            return;
+        }
+        if (c == 'R' && peek(1) == '"') {
+            lexRawString();
+            return;
+        }
+        if (c == '"') {
+            lexQuoted('"', Tok::String);
+            return;
+        }
+        if (c == '\'') {
+            lexQuoted('\'', Tok::CharLit);
+            return;
+        }
+        if (isIdentStart(c)) {
+            const unsigned start = line_;
+            std::string ident;
+            while (pos_ < text_.size() && isIdentChar(peek())) {
+                ident += peek();
+                advance();
+            }
+            out_.tokens.push_back({Tok::Ident, ident, start});
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            const unsigned start = line_;
+            std::string num;
+            // pp-number: digits, idents, dots, and exponent signs.
+            while (pos_ < text_.size()) {
+                const char d = peek();
+                if (isIdentChar(d) || d == '.' ||
+                    ((d == '+' || d == '-') && !num.empty() &&
+                     (num.back() == 'e' || num.back() == 'E' ||
+                      num.back() == 'p' || num.back() == 'P'))) {
+                    num += d;
+                    advance();
+                } else {
+                    break;
+                }
+            }
+            out_.tokens.push_back({Tok::Number, num, start});
+            return;
+        }
+        // Punctuation: longest multi-char operator first.
+        for (const char *op : multiOps) {
+            const std::size_t n = std::char_traits<char>::length(op);
+            if (text_.compare(pos_, n, op) == 0) {
+                out_.tokens.push_back({Tok::Punct, op, line_});
+                for (std::size_t i = 0; i < n; ++i)
+                    advance();
+                return;
+            }
+        }
+        out_.tokens.push_back({Tok::Punct, std::string(1, c), line_});
+        advance();
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    unsigned line_ = 1;
+    LexedSource out_;
+};
+
+} // namespace
+
+const std::string &
+LexedSource::commentOn(unsigned line) const
+{
+    static const std::string empty;
+    const auto it = comments.find(line);
+    return it == comments.end() ? empty : it->second;
+}
+
+LexedSource
+lex(const std::string &path, const std::string &text)
+{
+    return Lexer(path, text).run();
+}
+
+} // namespace morph::analysis

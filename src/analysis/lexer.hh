@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Lightweight C++ tokenizer for the morphflow static analyzer.
+ *
+ * This is deliberately NOT a compiler front end: it produces a flat
+ * token stream (identifiers, literals, punctuation) with line numbers,
+ * skips preprocessor directives wholesale (so `#define MORPH_SECRET`
+ * does not register as an annotation site), and records comment text
+ * per line so waiver markers (`morphflow: allow(...)`) can be matched
+ * against findings. The analysis layers on top (source_model.hh,
+ * flow_analyzer.hh) are heuristic by design; the rules they enforce
+ * are chosen so that a token-level approximation is reliable on this
+ * codebase's idiom.
+ */
+
+#ifndef MORPH_ANALYSIS_LEXER_HH
+#define MORPH_ANALYSIS_LEXER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace morph::analysis
+{
+
+/** Kind of one lexed token. */
+enum class Tok
+{
+    Ident,   ///< identifier or keyword
+    Number,  ///< integer or floating literal (pp-number)
+    String,  ///< string literal, including raw strings
+    CharLit, ///< character literal
+    Punct,   ///< operator or punctuation (multi-char ops kept whole)
+};
+
+/** One token with its source line (1-based). */
+struct Token
+{
+    Tok kind;
+    std::string text;
+    unsigned line;
+};
+
+/** A tokenized source file. */
+struct LexedSource
+{
+    std::string path;
+    std::vector<Token> tokens;
+    /** Comment text by line, concatenated when a line holds several. */
+    std::map<unsigned, std::string> comments;
+
+    /** Comment on @p line, or an empty string. */
+    const std::string &commentOn(unsigned line) const;
+};
+
+/** Tokenize @p text (the contents of @p path). */
+LexedSource lex(const std::string &path, const std::string &text);
+
+} // namespace morph::analysis
+
+#endif // MORPH_ANALYSIS_LEXER_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Secret-flow annotations consumed by the morphflow static analyzer.
+ *
+ * The macros expand to nothing at compile time; they exist so that
+ * `tools/morphflow` (built on `src/analysis`) can see, in the token
+ * stream, which declarations carry secret material and where the
+ * sanctioned declassification points are. The paper's security
+ * argument assumes keys, one-time pads, and intermediate cipher state
+ * never influence externally observable control flow or addresses;
+ * morphflow turns that assumption into a CI gate.
+ *
+ * Annotation vocabulary:
+ *
+ *  - `MORPH_SECRET` on a declaration (parameter, local, member,
+ *    global, or function return type) marks the declared value as
+ *    secret. Taint propagates from annotated names through
+ *    assignments, calls, and returns; a secret reaching a branch
+ *    condition, an array subscript, a variadic/logging call, or the
+ *    end of its scope without a wipe is a finding.
+ *
+ *  - `MORPH_DECLASSIFY(expr)` marks `expr` as deliberately
+ *    declassified: the value is derived from secrets but is safe to
+ *    branch on (e.g. the boolean result of a constant-time MAC
+ *    comparison). A function whose return value is wrapped in
+ *    MORPH_DECLASSIFY is a *declassifier*: its call sites are treated
+ *    as public values and its argument expressions are not scanned as
+ *    part of an enclosing branch condition.
+ *
+ * Waivers (for findings that are understood and accepted):
+ *
+ *  - `// morphflow: allow(<rule>): <reason>` on the same line as the
+ *    finding, or on the line directly above it, waives that rule for
+ *    that line.
+ *  - `// morphflow: allow-file(<rule>): <reason>` anywhere in a file
+ *    waives the rule for the whole file (used for the table-based AES
+ *    S-box lookups, which are index-secret by construction).
+ *
+ * Rules (see tools/morphflow.cc for the enforcement details):
+ *   secret-branch, secret-subscript, secret-log, secret-wipe,
+ *   secret-member-wipe, nondet-call, nondet-iter.
+ */
+
+#ifndef MORPH_COMMON_ANNOTATIONS_HH
+#define MORPH_COMMON_ANNOTATIONS_HH
+
+/** Marks the annotated declaration as carrying secret material. */
+#define MORPH_SECRET
+
+/** Marks @p expr as deliberately declassified (safe to branch on). */
+#define MORPH_DECLASSIFY(expr) (expr)
+
+#endif // MORPH_COMMON_ANNOTATIONS_HH

@@ -2,6 +2,15 @@
 
 #include <cstring>
 
+#include "common/secure_buf.hh"
+
+// This functional AES model uses table lookups indexed by key-mixed
+// state — the classic cache side channel, out of scope for a
+// simulator whose timing model never executes AES on secret-adjacent
+// hardware. docs/SECURITY.md documents the accepted risk.
+// morphflow: allow-file(secret-subscript): table-based S-box/InvSbox
+// lookups are inherent to this functional AES model.
+
 namespace morph
 {
 
@@ -52,6 +61,8 @@ const InvSbox invSbox;
 inline std::uint8_t
 xtime(std::uint8_t a)
 {
+    // Same accepted-risk class as the S-box lookups above.
+    // morphflow: allow(secret-branch): value-dependent reduce select
     return std::uint8_t((a << 1) ^ ((a & 0x80) ? 0x1b : 0x00));
 }
 
@@ -170,7 +181,7 @@ invMixColumns(std::uint8_t *state)
 
 } // namespace
 
-Aes128::Aes128(const Key &key)
+Aes128::Aes128(MORPH_SECRET const Key &key)
 {
     // First four words come straight from the key (big-endian words).
     for (int i = 0; i < 4; ++i) {
@@ -193,7 +204,7 @@ Aes128::Aes128(const Key &key)
 Aes128::Block
 Aes128::encrypt(const Block &plaintext) const
 {
-    std::uint8_t state[16];
+    MORPH_SECRET std::uint8_t state[16];
     std::memcpy(state, plaintext.data(), 16);
 
     addRoundKey(state, &roundKeys_[0]);
@@ -209,13 +220,16 @@ Aes128::encrypt(const Block &plaintext) const
 
     Block out;
     std::memcpy(out.data(), state, 16);
-    return out;
+    secureWipe(state, sizeof(state));
+    // Ciphertext lives in untrusted memory; callers that use a block
+    // as OTP pad material re-annotate it MORPH_SECRET at the use site.
+    return MORPH_DECLASSIFY(out);
 }
 
 Aes128::Block
 Aes128::decrypt(const Block &ciphertext) const
 {
-    std::uint8_t state[16];
+    MORPH_SECRET std::uint8_t state[16];
     std::memcpy(state, ciphertext.data(), 16);
 
     addRoundKey(state, &roundKeys_[4 * rounds]);
@@ -231,7 +245,10 @@ Aes128::decrypt(const Block &ciphertext) const
 
     Block out;
     std::memcpy(out.data(), state, 16);
-    return out;
+    secureWipe(state, sizeof(state));
+    // Same boundary as encrypt(): the recovered plaintext cacheline is
+    // ordinary program data, not key material.
+    return MORPH_DECLASSIFY(out);
 }
 
 } // namespace morph

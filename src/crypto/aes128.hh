@@ -19,6 +19,9 @@
 #include <array>
 #include <cstdint>
 
+#include "common/annotations.hh"
+#include "common/secure_buf.hh"
+
 namespace morph
 {
 
@@ -33,7 +36,7 @@ class Aes128
     using Key = std::array<std::uint8_t, keyBytes>;
 
     /** Expand @p key into the round-key schedule. */
-    explicit Aes128(const Key &key);
+    explicit Aes128(MORPH_SECRET const Key &key);
 
     /** Encrypt one 16-byte block. */
     Block encrypt(const Block &plaintext) const;
@@ -42,9 +45,9 @@ class Aes128
     Block decrypt(const Block &ciphertext) const;
 
   private:
-    // Round keys: (rounds + 1) x 4 words.
+    // Round keys: (rounds + 1) x 4 words, wiped on destruction.
     static constexpr unsigned rounds = 10;
-    std::array<std::uint32_t, 4 * (rounds + 1)> roundKeys_;
+    MORPH_SECRET SecretArray<std::uint32_t, 4 * (rounds + 1)> roundKeys_;
 };
 
 } // namespace morph

@@ -19,7 +19,7 @@ MacEngine::compute(LineAddr line, std::uint64_t counter,
     std::memcpy(buf + 8, &counter, 8);
     std::memcpy(buf + 16, payload.data(), lineBytes);
 
-    const std::uint64_t tag = siphash24(buf, sizeof(buf), key_);
+    const std::uint64_t tag = siphash24(buf, sizeof(buf), key_.raw());
     return tag_bits == 64 ? tag : (tag & ((1ull << tag_bits) - 1));
 }
 
@@ -29,15 +29,8 @@ MacEngine::equal(std::uint64_t a, std::uint64_t b, unsigned tag_bits)
     MORPH_CHECK(tag_bits >= 1 && tag_bits <= 64);
     const std::uint64_t mask =
         tag_bits == 64 ? ~0ull : ((1ull << tag_bits) - 1);
-    // Branch-free compare: fold the difference to a single bit.
-    std::uint64_t diff = (a ^ b) & mask;
-    diff |= diff >> 32;
-    diff |= diff >> 16;
-    diff |= diff >> 8;
-    diff |= diff >> 4;
-    diff |= diff >> 2;
-    diff |= diff >> 1;
-    return (diff & 1) == 0;
+    // Constant-time compare; the pass/fail bit is deliberately public.
+    return MORPH_DECLASSIFY(ctEqual64(a & mask, b & mask));
 }
 
 } // namespace morph

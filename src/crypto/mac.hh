@@ -19,6 +19,8 @@
 
 #include <cstdint>
 
+#include "common/annotations.hh"
+#include "common/secure_buf.hh"
 #include "common/types.hh"
 #include "crypto/siphash.hh"
 
@@ -29,7 +31,7 @@ namespace morph
 class MacEngine
 {
   public:
-    explicit MacEngine(const SipKey &key) : key_(key) {}
+    explicit MacEngine(MORPH_SECRET const SipKey &key) : key_(key) {}
 
     /**
      * MAC of a data or metadata cacheline.
@@ -45,7 +47,10 @@ class MacEngine
                           unsigned tag_bits = 64) const;
 
     /**
-     * Constant-time comparison of two tags of @p tag_bits width.
+     * Constant-time comparison of two tags of @p tag_bits width
+     * (ctEqual64 under the truncation mask). The result is an
+     * explicit declassification boundary: pass/fail is the one bit
+     * the verifier is allowed to reveal.
      *
      * @retval true if the tags match
      */
@@ -53,7 +58,7 @@ class MacEngine
                       unsigned tag_bits = 64);
 
   private:
-    SipKey key_;
+    MORPH_SECRET SecretArray<std::uint8_t, 16> key_;
 };
 
 } // namespace morph

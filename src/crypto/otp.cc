@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/check.hh"
+#include "common/secure_buf.hh"
 
 namespace morph
 {
@@ -23,9 +24,10 @@ OtpEngine::pad(LineAddr line, std::uint64_t counter) const
         // Fold the block index into the last byte: counters are <= 56
         // bits, so the top byte of the second word is free.
         seed[15] = std::uint8_t(block);
-        const Aes128::Block pad_block = cipher_.encrypt(seed);
+        MORPH_SECRET Aes128::Block pad_block = cipher_.encrypt(seed);
         std::memcpy(out.data() + block * Aes128::blockBytes,
                     pad_block.data(), Aes128::blockBytes);
+        secureWipe(pad_block.data(), pad_block.size());
     }
     return out;
 }
@@ -34,9 +36,10 @@ void
 OtpEngine::xorPad(CachelineData &data, LineAddr line,
                   std::uint64_t counter) const
 {
-    const CachelineData p = pad(line, counter);
+    MORPH_SECRET CachelineData p = pad(line, counter);
     for (std::size_t i = 0; i < lineBytes; ++i)
         data[i] ^= p[i];
+    secureWipe(p.data(), p.size());
 }
 
 } // namespace morph

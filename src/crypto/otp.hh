@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "common/annotations.hh"
 #include "common/types.hh"
 #include "crypto/aes128.hh"
 
@@ -24,15 +25,21 @@ namespace morph
 class OtpEngine
 {
   public:
-    explicit OtpEngine(const Aes128::Key &key) : cipher_(key) {}
+    explicit OtpEngine(MORPH_SECRET const Aes128::Key &key)
+        : cipher_(key)
+    {
+    }
 
     /**
      * Generate the 64-byte pad for (line, counter).
      *
      * The pad for encryption equals the pad for decryption, so callers
-     * use xorPad for both directions.
+     * use xorPad for both directions. The pad is secret material: a
+     * disclosed pad decrypts its line forever (counters never repeat,
+     * but lines are re-read), so callers must wipe it after use.
      */
-    CachelineData pad(LineAddr line, std::uint64_t counter) const;
+    MORPH_SECRET CachelineData pad(LineAddr line,
+                                   std::uint64_t counter) const;
 
     /** XOR @p data in place with the pad for (line, counter). */
     void xorPad(CachelineData &data, LineAddr line,

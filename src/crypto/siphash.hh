@@ -15,6 +15,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/annotations.hh"
+
 namespace morph
 {
 
@@ -27,7 +29,7 @@ using SipKey = std::array<std::uint8_t, 16>;
  * @return the 64-bit tag
  */
 std::uint64_t siphash24(const void *data, std::size_t len,
-                        const SipKey &key);
+                        MORPH_SECRET const SipKey &key);
 
 } // namespace morph
 

@@ -26,6 +26,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "common/annotations.hh"
 #include "crypto/otp.hh"
 #include "integrity/integrity_tree.hh"
 #include "integrity/mac_tree.hh"
@@ -49,8 +50,12 @@ struct SecureMemoryConfig
 {
     std::uint64_t memBytes = 1ull << 30;
     TreeConfig tree = TreeConfig::morph();
-    Aes128::Key encryptionKey{};
-    SipKey macKey{};
+    // Raw key material in a by-value setup carrier: the crypto engines
+    // copy these into wiped storage (SecretArray) on construction.
+    // morphflow: allow(secret-member-wipe): config carrier only
+    MORPH_SECRET Aes128::Key encryptionKey{};
+    // morphflow: allow(secret-member-wipe): config carrier only
+    MORPH_SECRET SipKey macKey{};
     unsigned macBits = 54; ///< Synergy in-line MAC width
 
     /** Replay-protection structure. With MerkleMacTree, tree.treeLevels

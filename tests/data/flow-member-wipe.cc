@@ -1,0 +1,10 @@
+// morphflow fixture: a MORPH_SECRET member with a raw type and no
+// wipe anywhere must trip the secret-member-wipe rule. Analyzed,
+// never compiled.
+#define MORPH_SECRET
+
+struct Session
+{
+    MORPH_SECRET unsigned char key[16]; // raw storage, no destructor wipe
+    unsigned epoch = 0;
+};

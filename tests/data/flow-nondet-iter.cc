@@ -1,0 +1,12 @@
+// morphflow fixture: range-for over an unordered container must trip
+// the nondet-iter rule. Analyzed, never compiled.
+#include <unordered_map>
+
+unsigned long
+unstableSum(const std::unordered_map<int, int> &m)
+{
+    unsigned long sum = 0;
+    for (const auto &kv : m) // iteration order varies run to run
+        sum += static_cast<unsigned long>(kv.second);
+    return sum;
+}

@@ -1,0 +1,9 @@
+// morphflow fixture: rand() in determinism scope must trip the
+// nondet-call rule. Analyzed, never compiled.
+extern "C" int rand(void);
+
+int
+noisyDelay()
+{
+    return rand(); // run-to-run nondeterminism in a scoped path
+}

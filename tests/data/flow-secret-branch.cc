@@ -1,0 +1,11 @@
+// morphflow fixture: a MORPH_SECRET value reaching a branch condition
+// must trip the secret-branch rule. Analyzed, never compiled.
+#define MORPH_SECRET
+
+unsigned
+leakyCompare(MORPH_SECRET unsigned key, unsigned guess)
+{
+    if (key == guess) // early-exit compare: a textbook timing oracle
+        return 1;
+    return 0;
+}

@@ -1,0 +1,11 @@
+// morphflow fixture: a MORPH_SECRET value passed to a logging call
+// must trip the secret-log rule. Analyzed, never compiled.
+#define MORPH_SECRET
+
+extern "C" int printf(const char *fmt, ...);
+
+void
+leakyLog(MORPH_SECRET unsigned long key)
+{
+    printf("derived key = %lx\n", key); // secret lands in the log
+}

@@ -1,0 +1,11 @@
+// morphflow fixture: a MORPH_SECRET value used as an array subscript
+// must trip the secret-subscript rule. Analyzed, never compiled.
+#define MORPH_SECRET
+
+static const unsigned char table[256] = {0};
+
+unsigned char
+leakyLookup(MORPH_SECRET unsigned char idx)
+{
+    return table[idx]; // secret-indexed load: cache side channel
+}

@@ -1,0 +1,15 @@
+// morphflow fixture: a MORPH_SECRET local that leaves scope without a
+// secureWipe() must trip the secret-wipe rule. Analyzed, never
+// compiled.
+#define MORPH_SECRET
+
+void deriveKey(unsigned char *out);
+void useKey(const unsigned char *key);
+
+void
+forgetsToWipe()
+{
+    MORPH_SECRET unsigned char key[16]; // never wiped before scope exit
+    deriveKey(key);
+    useKey(key);
+}

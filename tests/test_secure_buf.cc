@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the hardened secret storage in common/secure_buf:
+ * optimizer-proof wiping, constant-time comparison, and the SecureBuf
+ * / SecretArray containers the crypto engines keep key material in.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "common/secure_buf.hh"
+
+namespace morph
+{
+namespace
+{
+
+TEST(SecureWipe, ZeroesEveryByte)
+{
+    std::uint8_t buf[64];
+    std::memset(buf, 0xa5, sizeof(buf));
+    secureWipe(buf, sizeof(buf));
+    for (std::uint8_t b : buf)
+        EXPECT_EQ(b, 0u);
+}
+
+TEST(SecureWipe, ZeroLengthIsSafe)
+{
+    std::uint8_t one = 0x7f;
+    secureWipe(&one, 0);
+    EXPECT_EQ(one, 0x7f); // nothing before the pointer is touched
+    secureWipe(nullptr, 0);
+}
+
+TEST(CtCompare, EqualRegions)
+{
+    const std::uint8_t a[16] = {1, 2, 3, 4, 5};
+    const std::uint8_t b[16] = {1, 2, 3, 4, 5};
+    EXPECT_EQ(ctCompare(a, b, sizeof(a)), 0);
+    EXPECT_TRUE(ctEqual(a, b, sizeof(a)));
+}
+
+TEST(CtCompare, DetectsDifferenceAtEitherEnd)
+{
+    std::uint8_t a[32] = {};
+    std::uint8_t b[32] = {};
+    b[0] = 1; // first byte differs
+    EXPECT_NE(ctCompare(a, b, sizeof(a)), 0);
+    EXPECT_FALSE(ctEqual(a, b, sizeof(a)));
+    b[0] = 0;
+    b[31] = 1; // last byte differs
+    EXPECT_NE(ctCompare(a, b, sizeof(a)), 0);
+    b[31] = 0;
+    EXPECT_EQ(ctCompare(a, b, sizeof(a)), 0);
+}
+
+TEST(CtCompare, ZeroLengthIsEqual)
+{
+    EXPECT_EQ(ctCompare(nullptr, nullptr, 0), 0);
+}
+
+TEST(CtEqual64, AllBitPositions)
+{
+    EXPECT_TRUE(ctEqual64(0, 0));
+    EXPECT_TRUE(ctEqual64(~0ull, ~0ull));
+    EXPECT_TRUE(ctEqual64(0x0123456789abcdefull, 0x0123456789abcdefull));
+    for (int bit = 0; bit < 64; ++bit)
+        EXPECT_FALSE(ctEqual64(0, 1ull << bit)) << "bit " << bit;
+}
+
+TEST(SecureBuf, AllocatesZeroInitialized)
+{
+    SecureBuf buf(128);
+    ASSERT_EQ(buf.size(), 128u);
+    ASSERT_NE(buf.data(), nullptr);
+    EXPECT_FALSE(buf.empty());
+    for (std::size_t i = 0; i < buf.size(); ++i)
+        EXPECT_EQ(buf.data()[i], 0u) << "offset " << i;
+}
+
+TEST(SecureBuf, DefaultAndZeroLengthAreEmpty)
+{
+    SecureBuf none;
+    EXPECT_TRUE(none.empty());
+    EXPECT_EQ(none.size(), 0u);
+    EXPECT_FALSE(none.locked());
+    SecureBuf zero(0);
+    EXPECT_TRUE(zero.empty());
+}
+
+TEST(SecureBuf, WipeZeroesContents)
+{
+    SecureBuf buf(32);
+    std::memset(buf.data(), 0xee, buf.size());
+    buf.wipe();
+    for (std::size_t i = 0; i < buf.size(); ++i)
+        EXPECT_EQ(buf.data()[i], 0u);
+    EXPECT_EQ(buf.size(), 32u); // wipe clears contents, not capacity
+}
+
+TEST(SecureBuf, UnlockedFallbackStillAllocates)
+{
+    SecureBuf buf(64, /*try_lock=*/false);
+    EXPECT_FALSE(buf.locked());
+    ASSERT_EQ(buf.size(), 64u);
+    buf.data()[0] = 0x42;
+    EXPECT_EQ(buf.data()[0], 0x42);
+}
+
+TEST(SecureBuf, MoveTransfersOwnership)
+{
+    SecureBuf a(16);
+    a.data()[3] = 9;
+    const std::uint8_t *p = a.data();
+    SecureBuf b(std::move(a));
+    EXPECT_EQ(b.data(), p);
+    EXPECT_EQ(b.size(), 16u);
+    EXPECT_EQ(b.data()[3], 9);
+    EXPECT_EQ(a.size(), 0u); // NOLINT(bugprone-use-after-move)
+    EXPECT_EQ(a.data(), nullptr);
+
+    SecureBuf c(8);
+    c = std::move(b);
+    EXPECT_EQ(c.data(), p);
+    EXPECT_EQ(c.size(), 16u);
+}
+
+TEST(SecretArray, BehavesLikeArray)
+{
+    SecretArray<std::uint8_t, 16> key;
+    for (std::size_t i = 0; i < key.size(); ++i)
+        EXPECT_EQ(key[i], 0u); // value-initialized
+    key[0] = 0xaa;
+    key[15] = 0x55;
+    EXPECT_EQ(key.raw()[0], 0xaa);
+    EXPECT_EQ(key.raw()[15], 0x55);
+    EXPECT_EQ(key.data()[0], 0xaa);
+    static_assert(SecretArray<std::uint8_t, 16>::size() == 16);
+}
+
+TEST(SecretArray, ConstructsFromStdArray)
+{
+    std::array<std::uint32_t, 4> words = {1, 2, 3, 4};
+    SecretArray<std::uint32_t, 4> copy(words);
+    EXPECT_EQ(copy[2], 3u);
+    EXPECT_EQ(copy.raw(), words);
+}
+
+} // namespace
+} // namespace morph
