@@ -89,11 +89,13 @@ selfWipingType(const std::string &type_text)
            type_text.find("SecretArray") != std::string::npos;
 }
 
-/** One input file after lexing and modelling. */
+/** One input file after lexing and modelling. The token stream may
+ *  live in a shared LexCache; `lexed` points either there or into the
+ *  analyzer's own storage. */
 struct FileUnit
 {
     SourceText meta;
-    LexedSource lexed;
+    const LexedSource *lexed = nullptr;
     SourceModel model;
 };
 
@@ -115,20 +117,21 @@ struct LocalState
 class Analyzer
 {
   public:
-    explicit Analyzer(const std::vector<SourceText> &sources)
+    explicit Analyzer(const std::vector<SourceText> &sources,
+                      LexCache *cache = nullptr)
     {
+        // Without a caller-provided cache, a local one both owns the
+        // token streams (std::map entries are address-stable) and
+        // de-duplicates same-path batch entries.
+        LexCache &lexed = cache ? *cache : ownLex_;
         units_.reserve(sources.size());
         for (const SourceText &src : sources) {
             FileUnit unit;
             unit.meta = src;
-            unit.lexed = lex(src.path, src.text);
-            unit.model = buildModel(unit.lexed);
+            unit.lexed = &lexed.get(src.path, src.path, src.text);
+            unit.model = buildModel(*unit.lexed);
             units_.push_back(std::move(unit));
         }
-        // The models carry pointers into their lexed sources; re-aim
-        // them at the vector's storage now that the moves are done.
-        for (FileUnit &unit : units_)
-            unit.model.src = &unit.lexed;
     }
 
     AnalysisResult
@@ -191,7 +194,7 @@ class Analyzer
         // source says `return MORPH_DECLASSIFY(...)`, regardless of the
         // order files are visited during taint propagation.
         for (const FileUnit &unit : units_) {
-            const auto &t = unit.lexed.tokens;
+            const auto &t = unit.lexed->tokens;
             for (const FunctionDef &f : unit.model.functions)
                 for (std::size_t i = f.bodyBegin + 1;
                      i + 1 < f.bodyEnd; ++i)
@@ -201,7 +204,7 @@ class Analyzer
         }
         // Wipe mentions anywhere in the batch, for the member rule.
         for (const FileUnit &unit : units_) {
-            const auto &t = unit.lexed.tokens;
+            const auto &t = unit.lexed->tokens;
             for (std::size_t i = 0; i + 1 < t.size(); ++i) {
                 if (t[i].text == "secureWipe" && t[i + 1].text == "(") {
                     const std::size_t close = matchGroup(t, i + 1);
@@ -238,7 +241,7 @@ class Analyzer
     propagateFunction(const FileUnit &unit, const FunctionDef &fn)
     {
         const LocalState state = localState(unit, fn);
-        const auto &t = unit.lexed.tokens;
+        const auto &t = unit.lexed->tokens;
         bool changed = false;
         for (std::size_t i = fn.bodyBegin + 1; i < fn.bodyEnd; ++i) {
             if (t[i].kind != Tok::Ident)
@@ -292,7 +295,7 @@ class Analyzer
                 (pit != secretParams_.end() && pit->second.count(i)))
                 state.secrets.insert(p.name);
         }
-        const auto &t = unit.lexed.tokens;
+        const auto &t = unit.lexed->tokens;
         // Explicitly annotated locals.
         for (std::size_t i = fn.bodyBegin + 1; i < fn.bodyEnd; ++i) {
             if (t[i].text != secretMarker)
@@ -552,7 +555,7 @@ class Analyzer
     functionRules(const FileUnit &unit, const FunctionDef &fn)
     {
         const LocalState state = localState(unit, fn);
-        const auto &t = unit.lexed.tokens;
+        const auto &t = unit.lexed->tokens;
         for (std::size_t i = fn.bodyBegin + 1; i < fn.bodyEnd; ++i) {
             const std::string &s = t[i].text;
             if (t[i].kind == Tok::Ident &&
@@ -609,7 +612,7 @@ class Analyzer
                    const LocalState &state, std::size_t open,
                    std::size_t close)
     {
-        const auto &t = unit.lexed.tokens;
+        const auto &t = unit.lexed->tokens;
         const std::size_t hit = findSecretUse(
             unit, t, open + 1, std::min(close, fn.bodyEnd),
             state.secrets);
@@ -623,7 +626,7 @@ class Analyzer
     checkForLoop(const FileUnit &unit, const FunctionDef &fn,
                  const LocalState &state, std::size_t open)
     {
-        const auto &t = unit.lexed.tokens;
+        const auto &t = unit.lexed->tokens;
         const std::size_t close = matchGroup(t, open);
         if (close >= fn.bodyEnd)
             return;
@@ -660,7 +663,7 @@ class Analyzer
     checkTernary(const FileUnit &unit, const FunctionDef &fn,
                  const LocalState &state, std::size_t qpos)
     {
-        const auto &t = unit.lexed.tokens;
+        const auto &t = unit.lexed->tokens;
         std::size_t begin = fn.bodyBegin + 1;
         int depth = 0;
         for (std::size_t i = qpos; i > fn.bodyBegin;) {
@@ -697,7 +700,7 @@ class Analyzer
     wipeRule(const FileUnit &unit, const FunctionDef &fn,
              const LocalState &state)
     {
-        const auto &t = unit.lexed.tokens;
+        const auto &t = unit.lexed->tokens;
         for (const AnnotatedLocal &local : state.locals) {
             if (selfWipingType(local.typeText))
                 continue;
@@ -760,7 +763,7 @@ class Analyzer
     void
     determinismRules(const FileUnit &unit)
     {
-        const auto &t = unit.lexed.tokens;
+        const auto &t = unit.lexed->tokens;
         for (std::size_t i = 0; i < t.size(); ++i) {
             if (t[i].kind != Tok::Ident)
                 continue;
@@ -805,7 +808,7 @@ class Analyzer
     void
     checkRangeFor(const FileUnit &unit, std::size_t open)
     {
-        const auto &t = unit.lexed.tokens;
+        const auto &t = unit.lexed->tokens;
         const std::size_t close = matchGroup(t, open);
         if (close >= t.size())
             return;
@@ -879,6 +882,7 @@ class Analyzer
         std::sort(result_.waived.begin(), result_.waived.end(), order);
     }
 
+    LexCache ownLex_; ///< used when the caller passes no cache
     std::vector<FileUnit> units_;
     std::set<std::string> globalSecretNames_;
     std::set<std::string> secretReturnFns_;
@@ -895,9 +899,9 @@ class Analyzer
 } // namespace
 
 AnalysisResult
-analyzeSources(const std::vector<SourceText> &sources)
+analyzeSources(const std::vector<SourceText> &sources, LexCache *cache)
 {
-    return Analyzer(sources).run();
+    return Analyzer(sources, cache).run();
 }
 
 } // namespace morph::analysis

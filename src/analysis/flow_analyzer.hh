@@ -26,41 +26,19 @@
 #ifndef MORPH_ANALYSIS_FLOW_ANALYZER_HH
 #define MORPH_ANALYSIS_FLOW_ANALYZER_HH
 
-#include <string>
 #include <vector>
+
+#include "analysis/findings.hh"
+#include "analysis/lex_cache.hh"
 
 namespace morph::analysis
 {
 
-/** One input file for an analysis batch. */
-struct SourceText
-{
-    std::string path;
-    std::string text;
-    /** Apply the nondet-call / nondet-iter rules to this file. */
-    bool determinismScope = false;
-};
-
-/** One rule violation (or waived violation). */
-struct Finding
-{
-    std::string rule;    ///< rule ID, e.g. "secret-branch"
-    std::string file;
-    std::string symbol;  ///< offending identifier, may be empty
-    std::string message; ///< human-readable description
-    unsigned line = 0;
-    bool waived = false;
-};
-
-/** The outcome of analyzing a batch of sources. */
-struct AnalysisResult
-{
-    std::vector<Finding> findings; ///< unwaived — these fail the run
-    std::vector<Finding> waived;   ///< suppressed by allow() comments
-};
-
-/** Analyze @p sources as one batch (taint propagates across files). */
-AnalysisResult analyzeSources(const std::vector<SourceText> &sources);
+/** Analyze @p sources as one batch (taint propagates across files).
+ *  A non-null @p cache memoizes the lexed token streams (keyed by
+ *  path) so repeated analyses of the same files lex once. */
+AnalysisResult analyzeSources(const std::vector<SourceText> &sources,
+                              LexCache *cache = nullptr);
 
 } // namespace morph::analysis
 

@@ -1,0 +1,18 @@
+#include "analysis/lex_cache.hh"
+
+namespace morph::analysis
+{
+
+const LexedSource &
+LexCache::get(const std::string &key, const std::string &path,
+              const std::string &text)
+{
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++hits_;
+        return it->second;
+    }
+    return cache_.emplace(key, lex(path, text)).first->second;
+}
+
+} // namespace morph::analysis

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Concurrency-contract analysis for morphrace.
+ *
+ * The analyzer consumes a batch of source files, builds the per-file
+ * structural model (source_model.hh), and enforces the locking
+ * discipline declared with the MORPH_* concurrency annotations
+ * (common/annotations.hh) by name-based heuristics over the token
+ * stream — the same approximation level as morphflow, tuned to this
+ * codebase's idiom (RAII guards, trailing-underscore members, one
+ * RunPool).
+ *
+ * Rule families (IDs are what waiver comments name):
+ *  - race-unguarded     MORPH_GUARDED_BY member touched without its
+ *                       mutex held
+ *  - race-requires      call to a MORPH_REQUIRES function without the
+ *                       required mutex held
+ *  - race-exclude       call to a MORPH_EXCLUDES function while the
+ *                       excluded mutex is held
+ *  - race-lock-order    batch-wide mutex acquisition graph has a
+ *                       cycle (or a mutex is re-acquired while held)
+ *  - race-worker-escape non-atomic, unlocked mutation of captured
+ *                       outer state inside a RunPool / SweepEngine
+ *                       worker lambda
+ *  - race-naked-static  mutable static (or namespace-scope) variable
+ *                       in a staticScope file with no concurrency
+ *                       annotation
+ *
+ * race-naked-static only runs on files whose `staticScope` flag is
+ * set (src/common, src/sim, src/secmem, and any file named explicitly
+ * on the morphrace command line); every other rule runs batch-wide.
+ */
+
+#ifndef MORPH_ANALYSIS_RACE_ANALYZER_HH
+#define MORPH_ANALYSIS_RACE_ANALYZER_HH
+
+#include <vector>
+
+#include "analysis/findings.hh"
+#include "analysis/lex_cache.hh"
+
+namespace morph::analysis
+{
+
+/** Analyze @p sources as one batch (annotations on declarations in
+ *  one file bind call sites and accesses in every other file; the
+ *  lock-order graph spans the batch). A non-null @p cache memoizes
+ *  the lexed token streams (keyed by path) so repeated analyses of
+ *  the same files lex once. */
+AnalysisResult analyzeRaces(const std::vector<SourceText> &sources,
+                            LexCache *cache = nullptr);
+
+} // namespace morph::analysis
+
+#endif // MORPH_ANALYSIS_RACE_ANALYZER_HH

@@ -1,16 +1,20 @@
 /**
  * @file
- * Secret-flow annotations consumed by the morphflow static analyzer.
+ * Source-contract annotations consumed by the morphflow and morphrace
+ * static analyzers (and, for the concurrency vocabulary, by clang's
+ * native -Wthread-safety analysis).
  *
- * The macros expand to nothing at compile time; they exist so that
- * `tools/morphflow` (built on `src/analysis`) can see, in the token
- * stream, which declarations carry secret material and where the
- * sanctioned declassification points are. The paper's security
- * argument assumes keys, one-time pads, and intermediate cipher state
- * never influence externally observable control flow or addresses;
- * morphflow turns that assumption into a CI gate.
+ * Under GCC every macro expands to nothing; the annotations exist so
+ * that the `src/analysis`-based tools can see, in the token stream,
+ * which declarations carry secret material, which state is guarded by
+ * which mutex, and where the sanctioned declassification points are.
+ * Under clang the concurrency macros additionally expand to the
+ * thread-safety attributes, so the same single annotation source is
+ * checked by two independent engines: morphrace (token-level,
+ * batch-wide, runs everywhere) and clang TSA (AST-level, per-TU,
+ * runs in the clang CI lane).
  *
- * Annotation vocabulary:
+ * Secret-flow vocabulary (morphflow):
  *
  *  - `MORPH_SECRET` on a declaration (parameter, local, member,
  *    global, or function return type) marks the declared value as
@@ -27,18 +31,41 @@
  *    as public values and its argument expressions are not scanned as
  *    part of an enclosing branch condition.
  *
+ * Concurrency vocabulary (morphrace; see docs/CONCURRENCY.md):
+ *
+ *  - `MORPH_CAPABILITY(name)` on a class declares it a lockable
+ *    capability (morph::Mutex in common/mutex.hh is the one in-tree).
+ *  - `MORPH_GUARDED_BY(mu)` on a member or global: every access must
+ *    happen inside a region holding `mu` (rule race-unguarded).
+ *  - `MORPH_REQUIRES(mu)` on a function: callers must already hold
+ *    `mu` (rule race-requires).
+ *  - `MORPH_EXCLUDES(mu)` on a function: callers must NOT hold `mu` —
+ *    the function acquires it itself (rule race-exclude).
+ *  - `MORPH_ACQUIRE(mu)` / `MORPH_RELEASE(mu)` /
+ *    `MORPH_TRY_ACQUIRE(ok, mu)` on lock-wrapper methods.
+ *  - `MORPH_SCOPED_CAPABILITY` on RAII guard classes.
+ *  - `MORPH_SHARD_LOCAL` on state owned by exactly one sweep shard /
+ *    pool worker at a time (per-run StatRegistry, TraceLog,
+ *    PadAuditor...): lock-free by ownership, not by luck. morphrace
+ *    exempts it from race-worker-escape and race-naked-static.
+ *  - `MORPH_MAIN_THREAD` on setup-only state mutated exclusively
+ *    before worker threads exist (or after they drain); concurrent
+ *    readers of the frozen value are fine.
+ *
  * Waivers (for findings that are understood and accepted):
  *
- *  - `// morphflow: allow(<rule>): <reason>` on the same line as the
- *    finding, or on the line directly above it, waives that rule for
- *    that line.
- *  - `// morphflow: allow-file(<rule>): <reason>` anywhere in a file
- *    waives the rule for the whole file (used for the table-based AES
- *    S-box lookups, which are index-secret by construction).
+ *  - `// morphflow: allow(<rule>): <reason>` (or `morphrace:` for the
+ *    race-* rules) on the same line as the finding, or on the line
+ *    directly above it, waives that rule for that line.
+ *  - `allow-file(<rule>): <reason>` anywhere in a file waives the
+ *    rule for the whole file (used for the table-based AES S-box
+ *    lookups, which are index-secret by construction).
  *
- * Rules (see tools/morphflow.cc for the enforcement details):
+ * Rules (see tools/morphflow.cc and tools/morphrace.cc):
  *   secret-branch, secret-subscript, secret-log, secret-wipe,
- *   secret-member-wipe, nondet-call, nondet-iter.
+ *   secret-member-wipe, nondet-call, nondet-iter;
+ *   race-unguarded, race-requires, race-exclude, race-lock-order,
+ *   race-worker-escape, race-naked-static.
  */
 
 #ifndef MORPH_COMMON_ANNOTATIONS_HH
@@ -49,5 +76,51 @@
 
 /** Marks @p expr as deliberately declassified (safe to branch on). */
 #define MORPH_DECLASSIFY(expr) (expr)
+
+// Concurrency annotations. Clang's -Wthread-safety checks them at
+// compile time; GCC compiles them away and morphrace remains the only
+// checker. Keep the two expansions in lockstep with docs/CONCURRENCY.md.
+#if defined(__clang__) && !defined(MORPH_NO_THREAD_SAFETY_ATTRIBUTES)
+#define MORPH_TSA_(x) __attribute__((x))
+#else
+#define MORPH_TSA_(x)
+#endif
+
+/** Declares the annotated class a lockable capability. */
+#define MORPH_CAPABILITY(name) MORPH_TSA_(capability(name))
+
+/** Declares the annotated RAII class a scoped lock holder. */
+#define MORPH_SCOPED_CAPABILITY MORPH_TSA_(scoped_lockable)
+
+/** The annotated member/global may only be accessed holding @p mu. */
+#define MORPH_GUARDED_BY(mu) MORPH_TSA_(guarded_by(mu))
+
+/** Callers of the annotated function must already hold the mutex. */
+#define MORPH_REQUIRES(...) MORPH_TSA_(requires_capability(__VA_ARGS__))
+
+/** Callers of the annotated function must NOT hold the mutex. */
+#define MORPH_EXCLUDES(...) MORPH_TSA_(locks_excluded(__VA_ARGS__))
+
+/** The annotated function acquires the mutex and returns holding it. */
+#define MORPH_ACQUIRE(...) MORPH_TSA_(acquire_capability(__VA_ARGS__))
+
+/** The annotated function releases the mutex. */
+#define MORPH_RELEASE(...) MORPH_TSA_(release_capability(__VA_ARGS__))
+
+/** The annotated function acquires the mutex iff it returns @p ok. */
+#define MORPH_TRY_ACQUIRE(...) \
+    MORPH_TSA_(try_acquire_capability(__VA_ARGS__))
+
+/** Opt a function out of clang's analysis (trusted implementation). */
+#define MORPH_NO_THREAD_SAFETY_ANALYSIS \
+    MORPH_TSA_(no_thread_safety_analysis)
+
+/** State owned by exactly one sweep shard / pool worker at a time:
+ *  lock-free by ownership. morphrace-only; clang has no equivalent. */
+#define MORPH_SHARD_LOCAL
+
+/** Setup-only state: mutated exclusively while no worker threads run;
+ *  frozen-value readers may be concurrent. morphrace-only. */
+#define MORPH_MAIN_THREAD
 
 #endif // MORPH_COMMON_ANNOTATIONS_HH

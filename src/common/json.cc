@@ -43,7 +43,7 @@ class JsonParser
 {
   public:
     JsonParser(const std::string &text, std::string &error)
-        : text_(text), error_(error)
+        : text_(text), parseError_(error)
     {}
 
     bool
@@ -64,7 +64,7 @@ class JsonParser
     bool
     fail(const std::string &what)
     {
-        error_ = what + " at offset " + std::to_string(pos_);
+        parseError_ = what + " at offset " + std::to_string(pos_);
         return false;
     }
 
@@ -282,7 +282,7 @@ class JsonParser
     }
 
     const std::string &text_;
-    std::string &error_;
+    std::string &parseError_;
     std::size_t pos_ = 0;
 };
 

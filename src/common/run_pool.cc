@@ -44,7 +44,7 @@ RunPool::RunPool(unsigned threads)
 RunPool::~RunPool()
 {
     {
-        std::lock_guard<std::mutex> guard(lock_);
+        LockGuard guard(lock_);
         shutdown_ = true;
     }
     wake_.notify_all();
@@ -56,7 +56,7 @@ bool
 RunPool::popLocal(unsigned id, std::size_t &task)
 {
     Shard &shard = *shards_[id];
-    std::lock_guard<std::mutex> guard(shard.lock);
+    LockGuard guard(shard.lock);
     if (shard.tasks.empty())
         return false;
     task = shard.tasks.front();
@@ -70,7 +70,7 @@ RunPool::stealTask(unsigned id, std::size_t &task)
     const std::size_t n = shards_.size();
     for (std::size_t k = 1; k < n; ++k) {
         Shard &victim = *shards_[(id + k) % n];
-        std::lock_guard<std::mutex> guard(victim.lock);
+        LockGuard guard(victim.lock);
         if (victim.tasks.empty())
             continue;
         task = victim.tasks.back();
@@ -81,6 +81,18 @@ RunPool::stealTask(unsigned id, std::size_t &task)
 }
 
 void
+RunPool::finishTask(std::size_t task, std::exception_ptr error)
+{
+    if (error && (!error_ || task < firstErrorIndex_)) {
+        error_ = error;
+        firstErrorIndex_ = task;
+    }
+    MORPH_CHECK(pending_ > 0);
+    if (--pending_ == 0)
+        idle_.notify_all();
+}
+
+void
 RunPool::runTask(std::size_t task)
 {
     // Re-read the session function under the lock: a worker finishing
@@ -88,7 +100,7 @@ RunPool::runTask(std::size_t task)
     // before it ever sleeps, and must use that session's function.
     const std::function<void(std::size_t)> *fn;
     {
-        std::lock_guard<std::mutex> guard(lock_);
+        LockGuard guard(lock_);
         fn = fn_;
     }
     std::exception_ptr error;
@@ -99,14 +111,8 @@ RunPool::runTask(std::size_t task)
         error = std::current_exception();
     }
     {
-        std::lock_guard<std::mutex> guard(lock_);
-        if (error && (!error_ || task < firstErrorIndex_)) {
-            error_ = error;
-            firstErrorIndex_ = task;
-        }
-        MORPH_CHECK(pending_ > 0);
-        if (--pending_ == 0)
-            idle_.notify_all();
+        LockGuard guard(lock_);
+        finishTask(task, error);
     }
 }
 
@@ -116,10 +122,12 @@ RunPool::workerLoop(unsigned id)
     std::uint64_t seen = 0;
     while (true) {
         {
-            std::unique_lock<std::mutex> guard(lock_);
-            wake_.wait(guard, [&]() {
-                return shutdown_ || (session_ != seen && pending_ > 0);
-            });
+            UniqueLock guard(lock_);
+            // Explicit wait loop (not the predicate overload) so both
+            // checkers see the guarded reads inside the held region.
+            while (!shutdown_ &&
+                   !(session_ != seen && pending_ > 0))
+                wake_.wait(guard);
             if (shutdown_)
                 return;
             seen = session_;
@@ -137,20 +145,22 @@ RunPool::forEach(std::size_t count,
     if (count == 0)
         return;
 
-    std::unique_lock<std::mutex> guard(lock_);
+    UniqueLock guard(lock_);
     MORPH_CHECK(fn_ == nullptr); // not reentrant
     // Deal contiguous index blocks into the shards while holding the
     // session lock: a still-draining worker from the previous session
     // can legally pop these tasks early, but blocks on lock_ inside
-    // runTask until fn_/pending_ below are in place.
+    // runTask until fn_/pending_ below are in place. This nesting is
+    // the one sanctioned lock-order edge: lock_ -> Shard::lock.
     const std::size_t n = shards_.size();
     const std::size_t chunk = (count + n - 1) / n;
     for (std::size_t s = 0; s < n; ++s) {
         const std::size_t lo = std::min(s * chunk, count);
         const std::size_t hi = std::min(lo + chunk, count);
-        std::lock_guard<std::mutex> shard_guard(shards_[s]->lock);
+        Shard &shard = *shards_[s];
+        LockGuard shard_guard(shard.lock);
         for (std::size_t i = lo; i < hi; ++i)
-            shards_[s]->tasks.push_back(i);
+            shard.tasks.push_back(i);
     }
     fn_ = &fn;
     pending_ = count;
@@ -158,7 +168,8 @@ RunPool::forEach(std::size_t count,
     firstErrorIndex_ = 0;
     ++session_;
     wake_.notify_all();
-    idle_.wait(guard, [&]() { return pending_ == 0; });
+    while (pending_ != 0)
+        idle_.wait(guard);
     fn_ = nullptr;
     if (error_) {
         const std::exception_ptr error = error_;

@@ -31,6 +31,12 @@
  *
  * The pool is not reentrant: one forEach() session at a time, driven
  * from one thread. Tasks must not call back into the same pool.
+ *
+ * Locking discipline (machine-checked by morphrace and, under clang,
+ * by -Wthread-safety — see docs/CONCURRENCY.md): session state is
+ * guarded by lock_, each shard's deque by its own Shard::lock, and
+ * the only nested acquisition is lock_ -> Shard::lock (dealing tasks
+ * in forEach), so the acquisition graph is acyclic by construction.
  */
 
 #ifndef MORPH_COMMON_RUN_POOL_HH
@@ -42,10 +48,12 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.hh"
+#include "common/mutex.hh"
 
 namespace morph
 {
@@ -87,33 +95,38 @@ class RunPool
      * completes. Not reentrant.
      */
     void forEach(std::size_t count,
-                 const std::function<void(std::size_t)> &fn);
+                 const std::function<void(std::size_t)> &fn)
+        MORPH_EXCLUDES(lock_);
 
   private:
     /** One worker's task deque (own front = pop, sibling back = steal). */
     struct Shard
     {
-        std::mutex lock;
-        std::deque<std::size_t> tasks;
+        Mutex lock;
+        std::deque<std::size_t> tasks MORPH_GUARDED_BY(lock);
     };
 
-    void workerLoop(unsigned id);
+    void workerLoop(unsigned id) MORPH_EXCLUDES(lock_);
     bool popLocal(unsigned id, std::size_t &task);
     bool stealTask(unsigned id, std::size_t &task);
-    void runTask(std::size_t task);
+    void runTask(std::size_t task) MORPH_EXCLUDES(lock_);
+    /** Record completion (and optional failure) of @p task. */
+    void finishTask(std::size_t task, std::exception_ptr error)
+        MORPH_REQUIRES(lock_);
 
     std::vector<std::unique_ptr<Shard>> shards_;
     std::vector<std::thread> workers_;
 
-    std::mutex lock_; ///< guards the session state below
-    std::condition_variable wake_; ///< workers: a session started
-    std::condition_variable idle_; ///< forEach: the session drained
-    const std::function<void(std::size_t)> *fn_ = nullptr;
-    std::uint64_t session_ = 0;
-    std::size_t pending_ = 0;
-    std::size_t firstErrorIndex_ = 0;
-    std::exception_ptr error_;
-    bool shutdown_ = false;
+    Mutex lock_; ///< guards the session state below
+    std::condition_variable_any wake_; ///< workers: a session started
+    std::condition_variable_any idle_; ///< forEach: the session drained
+    const std::function<void(std::size_t)> *fn_
+        MORPH_GUARDED_BY(lock_) = nullptr;
+    std::uint64_t session_ MORPH_GUARDED_BY(lock_) = 0;
+    std::size_t pending_ MORPH_GUARDED_BY(lock_) = 0;
+    std::size_t firstErrorIndex_ MORPH_GUARDED_BY(lock_) = 0;
+    std::exception_ptr error_ MORPH_GUARDED_BY(lock_);
+    bool shutdown_ MORPH_GUARDED_BY(lock_) = false;
 };
 
 /**

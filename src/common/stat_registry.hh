@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hh"
 #include "common/stats.hh"
 
 namespace morph
@@ -151,8 +152,11 @@ class StatRegistry
 
     void checkName(const std::string &name) const;
 
-    std::vector<Scalar> scalars_;
-    std::vector<Hist> histograms_;
+    // Registration and freeze() happen while the owning run is
+    // single-threaded; after freeze() only the const readers run,
+    // possibly from many threads (see FrozenRegistry tests).
+    std::vector<Scalar> scalars_ MORPH_MAIN_THREAD;
+    std::vector<Hist> histograms_ MORPH_MAIN_THREAD;
 };
 
 /** Free-form run metadata (workload, config, scale...) for exports. */
@@ -198,9 +202,11 @@ class EpochSeries
     const std::vector<Record> &records() const { return records_; }
 
   private:
-    bool baselined_ = false;
-    std::vector<double> prev_;
-    std::vector<Record> records_;
+    // Epoch state belongs to one simulation run; the sweep engine
+    // gives every run its own series (never shared across workers).
+    bool baselined_ MORPH_SHARD_LOCAL = false;
+    std::vector<double> prev_ MORPH_SHARD_LOCAL;
+    std::vector<Record> records_ MORPH_SHARD_LOCAL;
 };
 
 /**

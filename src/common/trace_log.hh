@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hh"
+
 namespace morph
 {
 
@@ -87,10 +89,13 @@ class TraceLog
 
     bool roomFor();
 
-    std::size_t maxEvents_;
-    std::vector<Event> events_;
-    std::vector<std::pair<std::uint32_t, std::string>> trackNames_;
-    std::uint64_t dropped_ = 0;
+    // A TraceLog belongs to one run's MorphScope; sweep workers never
+    // share one (each run owns its whole observability context).
+    std::size_t maxEvents_ MORPH_SHARD_LOCAL;
+    std::vector<Event> events_ MORPH_SHARD_LOCAL;
+    std::vector<std::pair<std::uint32_t, std::string>> trackNames_
+        MORPH_SHARD_LOCAL;
+    std::uint64_t dropped_ MORPH_SHARD_LOCAL = 0;
 };
 
 } // namespace morph

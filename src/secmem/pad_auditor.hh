@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/annotations.hh"
 #include "common/types.hh"
 
 namespace morph
@@ -60,9 +61,11 @@ class PadAuditor
     void reset();
 
   private:
+    // One auditor per SecureMemory per run; sweep workers each own
+    // their whole simulated system, so this state is never shared.
     std::unordered_map<LineAddr, std::unordered_set<std::uint64_t>>
-        used_;
-    std::uint64_t padsIssued_ = 0;
+        used_ MORPH_SHARD_LOCAL;
+    std::uint64_t padsIssued_ MORPH_SHARD_LOCAL = 0;
 };
 
 } // namespace morph

@@ -26,6 +26,7 @@
 
 #include <string>
 
+#include "common/annotations.hh"
 #include "common/stat_registry.hh"
 #include "common/trace_log.hh"
 
@@ -80,10 +81,13 @@ class MorphScope
     void dumpText(std::ostream &os, const std::string &prefix) const;
 
   private:
-    ScopeConfig config_;
-    StatRegistry registry_;
-    EpochSeries epochs_;
-    TraceLog trace_;
+    // A MorphScope is the per-run observability context: the sweep
+    // engine builds one inside each worker task, so the members are
+    // shard-local by ownership (see docs/CONCURRENCY.md).
+    ScopeConfig config_ MORPH_SHARD_LOCAL;
+    StatRegistry registry_ MORPH_SHARD_LOCAL;
+    EpochSeries epochs_ MORPH_SHARD_LOCAL;
+    TraceLog trace_ MORPH_SHARD_LOCAL;
 };
 
 } // namespace morph

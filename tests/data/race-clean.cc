@@ -1,0 +1,41 @@
+// morphrace fixture: fully annotated locking discipline — every rule
+// family runs and none fires. Doubles as the exit-0 pin for the
+// shared static-analysis exit-code contract. Analyzed, never
+// compiled.
+#define MORPH_GUARDED_BY(mu)
+#define MORPH_REQUIRES(mu)
+#define MORPH_SHARD_LOCAL
+
+class Tally
+{
+  public:
+    void
+    bump()
+    {
+        LockGuard guard(mu_);
+        ++hits_; // guarded access under its lock
+        trimLocked();
+    }
+
+  private:
+    void
+    trimLocked() MORPH_REQUIRES(mu_)
+    {
+        if (hits_ > kLimit)
+            hits_ = 0;
+    }
+
+    static constexpr unsigned kLimit = 1024;
+
+    Mutex mu_;
+    unsigned hits_ MORPH_GUARDED_BY(mu_) = 0;
+    unsigned scratch_ MORPH_SHARD_LOCAL = 0;
+};
+
+void
+fill(RunPool &pool, std::size_t count, std::vector<double> &out)
+{
+    pool.forEach(count, [&](std::size_t i) {
+        out[i] = static_cast<double>(i); // index-addressed store
+    });
+}

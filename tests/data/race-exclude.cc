@@ -1,0 +1,20 @@
+// morphrace fixture: calling a MORPH_EXCLUDES function while the
+// excluded mutex is held must trip the race-exclude rule (the callee
+// would self-deadlock re-acquiring it). Analyzed, never compiled.
+#define MORPH_EXCLUDES(mu)
+
+class Queue
+{
+  public:
+    void
+    pump()
+    {
+        LockGuard guard(mu_);
+        drain(); // drain() takes mu_ itself: deadlock
+    }
+
+  private:
+    void drain() MORPH_EXCLUDES(mu_);
+
+    Mutex mu_;
+};

@@ -1,0 +1,25 @@
+// morphrace fixture: two functions taking the same two mutexes in
+// opposite orders must trip the race-lock-order rule (the batch-wide
+// acquisition graph has a cycle). Analyzed, never compiled.
+
+class Transfer
+{
+  public:
+    void
+    deposit()
+    {
+        LockGuard a(alpha_);
+        LockGuard b(beta_); // alpha_ -> beta_
+    }
+
+    void
+    withdraw()
+    {
+        LockGuard b(beta_);
+        LockGuard a(alpha_); // beta_ -> alpha_: closes the cycle
+    }
+
+  private:
+    Mutex alpha_;
+    Mutex beta_;
+};

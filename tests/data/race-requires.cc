@@ -1,0 +1,19 @@
+// morphrace fixture: calling a MORPH_REQUIRES function without the
+// required mutex held must trip the race-requires rule. Analyzed,
+// never compiled.
+#define MORPH_REQUIRES(mu)
+
+class Queue
+{
+  public:
+    void
+    tick()
+    {
+        flushLocked(); // caller never takes mu_
+    }
+
+  private:
+    void flushLocked() MORPH_REQUIRES(mu_);
+
+    Mutex mu_;
+};

@@ -1,0 +1,18 @@
+// morphrace fixture: touching a MORPH_GUARDED_BY member without its
+// mutex held must trip the race-unguarded rule. Analyzed, never
+// compiled.
+#define MORPH_GUARDED_BY(mu)
+
+class Counter
+{
+  public:
+    void
+    bump()
+    {
+        ++hits_; // no lock taken: the annotation says mu_ must be held
+    }
+
+  private:
+    Mutex mu_;
+    unsigned hits_ MORPH_GUARDED_BY(mu_) = 0;
+};

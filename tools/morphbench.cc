@@ -34,12 +34,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/json.hh"
+#include "common/mutex.hh"
 #include "common/run_pool.hh"
 #include "sim/simulator.hh"
 
@@ -106,14 +106,14 @@ runMatrix(bool quick, const std::string &out_path,
     // fragment on the pool, then join in matrix order so the document
     // is byte-identical at every --jobs level. Seeds come from the
     // cell's fixed SimOptions, never from scheduling.
-    std::mutex progress_lock;
+    Mutex progress_lock;
     std::size_t started = 0;
     SweepEngine engine(jobs);
     const std::vector<std::string> cells =
         engine.map<std::string>(count, [&](std::size_t i) {
             const BenchCase &c = cases[i];
             {
-                std::lock_guard<std::mutex> guard(progress_lock);
+                LockGuard guard(progress_lock);
                 std::fprintf(stderr,
                              "morphbench: [%zu/%zu] %s/%s\n",
                              ++started, count, c.workload, c.config);

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -795,6 +796,17 @@ main(int argc, char **argv)
             return 2;
         } else {
             configs.push_back(arg);
+        }
+    }
+
+    // I/O problems are usage errors (exit 2), not lint findings: a
+    // missing config file must not read as "the invariants failed".
+    for (const std::string &path : configs) {
+        std::ifstream probe(path);
+        if (!probe) {
+            std::fprintf(stderr, "morphlint: cannot read %s\n",
+                         path.c_str());
+            return 2;
         }
     }
 

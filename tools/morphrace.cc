@@ -1,30 +1,37 @@
 /**
  * @file
- * morphflow — secret-flow and determinism static analyzer.
+ * morphrace — concurrency-contract static analyzer.
  *
- * morphflow enforces two source-level contracts that neither the type
- * system nor the test suite can see:
+ * morphrace enforces the locking discipline declared with the MORPH_*
+ * concurrency annotations (common/annotations.hh) across the whole
+ * repository as one batch:
  *
- *   1. Secret flow. Key and pad material annotated with MORPH_SECRET
- *      (common/annotations.hh) must never influence a branch
- *      condition, an array subscript, or a logging call, and must be
- *      wiped before leaving scope — unless an explicit
- *      MORPH_DECLASSIFY boundary or a waiver comment says otherwise.
- *      The one known exception, the table-based AES S-box, is a
- *      waived, documented finding rather than silence.
+ *   1. Guarded state. Members and globals annotated
+ *      MORPH_GUARDED_BY(mu) may only be touched while `mu` is held
+ *      (an in-scope RAII guard or explicit lock()); functions
+ *      annotated MORPH_REQUIRES(mu) may only be called with `mu`
+ *      held, MORPH_EXCLUDES(mu) only without it.
  *
- *   2. Determinism. Simulation results must be a pure function of the
- *      configuration: rand()/time()/std::random_device and range-for
- *      iteration over unordered containers are banned in src/sim,
- *      src/secmem, bench/ and tools/.
+ *   2. Lock order. The batch-wide mutex acquisition graph (taken
+ *      while holding) must stay acyclic; re-acquiring a held mutex is
+ *      flagged at the site.
+ *
+ *   3. Worker isolation. Lambdas handed to RunPool::forEach (or any
+ *      pool- or engine-named receiver) must not mutate captured state
+ *      except through index-addressed stores, locks they take
+ *      themselves, atomics, or MORPH_SHARD_LOCAL state.
+ *
+ *   4. Static hygiene. Mutable statics and namespace-scope variables
+ *      in src/{common,sim,secmem} must carry a concurrency
+ *      annotation, be const, thread_local, or atomic.
  *
  * Inputs: the translation units listed in a CMake
  * compile_commands.json plus every header under <root>/{src,tools,
  * bench}, or explicit file arguments (which get every rule family
  * regardless of path — this is how the WILL_FAIL fixtures run).
  *
- * Waivers: `// morphflow: allow(<rule>): reason` on the finding line
- * or the line above; `// morphflow: allow-file(<rule>): reason`
+ * Waivers: `// morphrace: allow(<rule>): reason` on the finding line
+ * or the line above; `// morphrace: allow-file(<rule>): reason`
  * anywhere in the file. Waived findings are reported separately and
  * never fail the run.
  *
@@ -42,7 +49,7 @@
 #include <vector>
 
 #include "analysis/compile_db.hh"
-#include "analysis/flow_analyzer.hh"
+#include "analysis/race_analyzer.hh"
 #include "common/json.hh"
 
 namespace
@@ -56,13 +63,13 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: morphflow [--compile-db PATH] [--root DIR]\n"
+        "usage: morphrace [--compile-db PATH] [--root DIR]\n"
         "                 [--json OUT] [--quiet] [file...]\n"
         "\n"
         "Analyze the translation units of a compile database (plus\n"
-        "headers under <root>/{src,tools,bench}) for secret-flow and\n"
-        "determinism violations, or analyze explicit files with every\n"
-        "rule family enabled.\n");
+        "headers under <root>/{src,tools,bench}) for violations of\n"
+        "the annotated locking discipline, or analyze explicit files\n"
+        "with every rule family enabled.\n");
 }
 
 bool
@@ -88,17 +95,14 @@ displayPath(const std::string &path, const std::string &root)
     return path;
 }
 
-/** The determinism family applies to simulator / secure-memory code
- *  and everything that produces user-visible output. */
+/** race-naked-static applies to the shared simulator core — the code
+ *  RunPool workers actually run concurrently. */
 bool
-inDeterminismScope(const std::string &rel_path)
+inStaticScope(const std::string &rel_path)
 {
-    return rel_path.find("src/sim") != std::string::npos ||
-           rel_path.find("src/secmem") != std::string::npos ||
-           rel_path.rfind("bench/", 0) == 0 ||
-           rel_path.rfind("tools/", 0) == 0 ||
-           rel_path.find("/bench/") != std::string::npos ||
-           rel_path.find("/tools/") != std::string::npos;
+    return rel_path.find("src/common") != std::string::npos ||
+           rel_path.find("src/sim") != std::string::npos ||
+           rel_path.find("src/secmem") != std::string::npos;
 }
 
 /** Analysis covers first-party code only. */
@@ -169,7 +173,7 @@ writeJson(const std::string &path, const AnalysisResult &result,
                   "  \"timing\": {\"lex_ms\": %.1f, "
                   "\"analyze_ms\": %.1f},\n",
                   lex_ms, analyze_ms);
-    out << "{\n  \"tool\": \"morphflow\",\n";
+    out << "{\n  \"tool\": \"morphrace\",\n";
     out << "  \"files_analyzed\": " << files_analyzed << ",\n";
     out << timing;
     out << "  \"lex_cache\": {\"entries\": " << cache.entries()
@@ -203,7 +207,7 @@ main(int argc, char **argv)
         const std::string arg = argv[i];
         const auto value = [&](std::string &slot) {
             if (i + 1 >= argc) {
-                std::fprintf(stderr, "morphflow: %s needs a value\n",
+                std::fprintf(stderr, "morphrace: %s needs a value\n",
                              arg.c_str());
                 return false;
             }
@@ -225,7 +229,7 @@ main(int argc, char **argv)
             usage();
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
-            std::fprintf(stderr, "morphflow: unknown flag %s\n",
+            std::fprintf(stderr, "morphrace: unknown flag %s\n",
                          arg.c_str());
             usage();
             return 2;
@@ -253,13 +257,13 @@ main(int argc, char **argv)
     } else {
         std::string db_text;
         if (!readFile(compile_db, db_text)) {
-            std::fprintf(stderr, "morphflow: cannot read %s\n",
+            std::fprintf(stderr, "morphrace: cannot read %s\n",
                          compile_db.c_str());
             return 2;
         }
         std::string error;
         if (!readCompileDb(db_text, paths, error)) {
-            std::fprintf(stderr, "morphflow: %s: %s\n",
+            std::fprintf(stderr, "morphrace: %s: %s\n",
                          compile_db.c_str(), error.c_str());
             return 2;
         }
@@ -278,10 +282,9 @@ main(int argc, char **argv)
             continue;
         SourceText src;
         src.path = rel;
-        src.determinismScope =
-            is_explicit || inDeterminismScope(rel);
+        src.staticScope = is_explicit || inStaticScope(rel);
         if (!readFile(path, src.text)) {
-            std::fprintf(stderr, "morphflow: cannot read %s\n",
+            std::fprintf(stderr, "morphrace: cannot read %s\n",
                          path.c_str());
             return 2;
         }
@@ -295,7 +298,7 @@ main(int argc, char **argv)
     for (const SourceText &src : sources)
         cache.get(src.path, src.path, src.text);
     const clk::time_point t1 = clk::now();
-    const AnalysisResult result = analyzeSources(sources, &cache);
+    const AnalysisResult result = analyzeRaces(sources, &cache);
     const clk::time_point t2 = clk::now();
     const auto ms = [](clk::duration d) {
         return std::chrono::duration<double, std::milli>(d).count();
@@ -309,7 +312,7 @@ main(int argc, char **argv)
         for (const Finding &f : result.findings)
             printFinding(f, "");
         std::printf(
-            "morphflow: %zu file%s, %zu finding%s, %zu waived "
+            "morphrace: %zu file%s, %zu finding%s, %zu waived "
             "(lex %.1f ms, analyze %.1f ms)\n",
             sources.size(), sources.size() == 1 ? "" : "s",
             result.findings.size(),
@@ -319,7 +322,7 @@ main(int argc, char **argv)
     if (!json_out.empty() &&
         !writeJson(json_out, result, sources.size(), lex_ms,
                    analyze_ms, cache)) {
-        std::fprintf(stderr, "morphflow: cannot write %s\n",
+        std::fprintf(stderr, "morphrace: cannot write %s\n",
                      json_out.c_str());
         return 2;
     }
