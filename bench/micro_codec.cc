@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hh"
+#include "kernels.hh"
 #include "counters/counter_factory.hh"
 #include "counters/split_counter.hh"
 #include "crypto/mac.hh"
@@ -191,6 +192,27 @@ BM_MacTreeUpdate(benchmark::State &state)
     }
 }
 BENCHMARK(BM_MacTreeUpdate);
+
+/**
+ * The shared hot-path kernel suite (kernels.hh) registered as
+ * kernel/<name> cases: the same loop bodies the morphbench --kernels
+ * throughput gate measures, available here for interactive profiling
+ * (items processed = kernel ops, so ops/s shows directly).
+ */
+const int kernel_registration = [] {
+    for (const auto &k : morph::kernels::makeKernels()) {
+        benchmark::RegisterBenchmark(
+            ("kernel/" + k.name).c_str(),
+            [k](benchmark::State &state) {
+                for (auto _ : state)
+                    benchmark::DoNotOptimize(k.run());
+                state.SetItemsProcessed(
+                    std::int64_t(state.iterations()) *
+                    std::int64_t(k.batch));
+            });
+    }
+    return 0;
+}();
 
 } // namespace
 

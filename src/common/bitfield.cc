@@ -1,9 +1,15 @@
 #include "common/bitfield.hh"
 
+#include <algorithm>
 #include <bit>
 
 namespace morph
 {
+namespace bitnaive
+{
+
+// The original byte-loop implementations, kept as the reference model
+// the word-level fast path is differentially tested against.
 
 std::uint64_t
 readBits(const CachelineData &line, unsigned offset, unsigned width)
@@ -67,4 +73,5 @@ popcountBits(const CachelineData &line, unsigned offset, unsigned nbits)
     return count;
 }
 
+} // namespace bitnaive
 } // namespace morph

@@ -8,18 +8,65 @@
  * fields. Bit 0 is the least-significant bit of byte 0 (little-endian
  * bit order), so a field of width w at offset o occupies bits
  * [o, o + w) of the line viewed as one 512-bit little-endian integer.
+ *
+ * Representation: the line is treated as eight 64-bit little-endian
+ * words. A field of <= 64 bits spans at most two words, so readBits is
+ * two loads + shift/merge, writeBits is a masked read-modify-write of
+ * at most two words, and popcountBits is whole-word std::popcount with
+ * the edge words masked. The word view is purely an access strategy —
+ * the byte-image layout contract above is unchanged, and the
+ * bit-at-a-time reference implementation is retained in
+ * morph::bitnaive for differential testing (see docs/PERFORMANCE.md).
  */
 
 #ifndef MORPH_COMMON_BITFIELD_HH
 #define MORPH_COMMON_BITFIELD_HH
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 
 #include "common/check.hh"
 #include "common/types.hh"
 
 namespace morph
 {
+
+/** 64-bit words per cacheline (the word view of a 512-bit line). */
+constexpr unsigned lineWords = unsigned(lineBits / 64);
+
+/**
+ * Load word @p w of the line's little-endian 64-bit word view:
+ * bit b of the result is bit (64*w + b) of the line.
+ */
+inline std::uint64_t
+loadWord(const CachelineData &line, unsigned w)
+{
+    MORPH_DCHECK(w < lineWords);
+    std::uint64_t v;
+    std::memcpy(&v, line.data() + 8 * w, 8);
+    if constexpr (std::endian::native == std::endian::big)
+        v = __builtin_bswap64(v);
+    return v;
+}
+
+/** Store word @p w of the line's little-endian 64-bit word view. */
+inline void
+storeWord(CachelineData &line, unsigned w, std::uint64_t v)
+{
+    MORPH_DCHECK(w < lineWords);
+    if constexpr (std::endian::native == std::endian::big)
+        v = __builtin_bswap64(v);
+    std::memcpy(line.data() + 8 * w, &v, 8);
+}
+
+/** All-ones mask of the low @p width bits (width 1..64). */
+inline std::uint64_t
+bitMask(unsigned width)
+{
+    MORPH_DCHECK(width >= 1 && width <= 64);
+    return ~std::uint64_t(0) >> (64u - width);
+}
 
 /**
  * Read a bit field of up to 64 bits from a cacheline image.
@@ -29,8 +76,21 @@ namespace morph
  * @param width  field width in bits (1..64)
  * @return the field value, right-aligned
  */
-std::uint64_t readBits(const CachelineData &line, unsigned offset,
-                       unsigned width);
+inline std::uint64_t
+readBits(const CachelineData &line, unsigned offset, unsigned width)
+{
+    MORPH_DCHECK(width >= 1 && width <= 64);
+    MORPH_DCHECK(offset + width <= lineBits);
+
+    const unsigned word = offset >> 6;
+    const unsigned bit = offset & 63;
+    std::uint64_t v = loadWord(line, word) >> bit;
+    // Straddling fields merge the next word; bit >= 1 there, so the
+    // left shift by (64 - bit) is always in range.
+    if (bit + width > 64)
+        v |= loadWord(line, word + 1) << (64 - bit);
+    return v & bitMask(width);
+}
 
 /**
  * Write a bit field of up to 64 bits into a cacheline image.
@@ -40,8 +100,83 @@ std::uint64_t readBits(const CachelineData &line, unsigned offset,
  * @param width  field width in bits (1..64)
  * @param value  field value; bits above @p width must be zero
  */
-void writeBits(CachelineData &line, unsigned offset, unsigned width,
-               std::uint64_t value);
+inline void
+writeBits(CachelineData &line, unsigned offset, unsigned width,
+          std::uint64_t value)
+{
+    MORPH_DCHECK(width >= 1 && width <= 64);
+    MORPH_DCHECK(offset + width <= lineBits);
+    MORPH_DCHECK(width == 64 || (value >> width) == 0);
+
+    const unsigned word = offset >> 6;
+    const unsigned bit = offset & 63;
+    const std::uint64_t mask = bitMask(width);
+    // Bits shifted past the top of the low word fall into the spill
+    // word below; the uint64 shift discards them here by design.
+    const std::uint64_t lo = loadWord(line, word);
+    storeWord(line, word, (lo & ~(mask << bit)) | (value << bit));
+    if (bit + width > 64) {
+        const unsigned spill = bit + width - 64; // 1..63
+        const std::uint64_t hi = loadWord(line, word + 1);
+        storeWord(line, word + 1,
+                  (hi & ~bitMask(spill)) | (value >> (64 - bit)));
+    }
+}
+
+/** Load a little-endian 32-bit window starting at byte @p byte. */
+inline std::uint32_t
+loadLe32(const CachelineData &line, unsigned byte)
+{
+    MORPH_DCHECK(byte + 4 <= lineBytes);
+    std::uint32_t v;
+    std::memcpy(&v, line.data() + byte, 4);
+    if constexpr (std::endian::native == std::endian::big)
+        v = __builtin_bswap32(v);
+    return v;
+}
+
+/** Store a little-endian 32-bit window starting at byte @p byte. */
+inline void
+storeLe32(CachelineData &line, unsigned byte, std::uint32_t v)
+{
+    MORPH_DCHECK(byte + 4 <= lineBytes);
+    if constexpr (std::endian::native == std::endian::big)
+        v = __builtin_bswap32(v);
+    std::memcpy(line.data() + byte, &v, 4);
+}
+
+/**
+ * Branch-free readBits for narrow fields (width 1..25) that start
+ * before bit 480: the field plus its leading 0..7 intra-byte bits fits
+ * one unaligned 32-bit window, so there is no straddle test. This is
+ * the ZCC packed-slot fast path (slot widths are 4..16 bits).
+ */
+inline std::uint64_t
+readBitsNarrow(const CachelineData &line, unsigned offset, unsigned width)
+{
+    MORPH_DCHECK(width >= 1 && width <= 25);
+    MORPH_DCHECK(offset + width <= lineBits);
+    MORPH_DCHECK((offset >> 3) + 4 <= lineBytes);
+    return (loadLe32(line, offset >> 3) >> (offset & 7)) &
+           std::uint32_t(bitMask(width));
+}
+
+/** Branch-free writeBits counterpart of readBitsNarrow. */
+inline void
+writeBitsNarrow(CachelineData &line, unsigned offset, unsigned width,
+                std::uint64_t value)
+{
+    MORPH_DCHECK(width >= 1 && width <= 25);
+    MORPH_DCHECK(offset + width <= lineBits);
+    MORPH_DCHECK((offset >> 3) + 4 <= lineBytes);
+    MORPH_DCHECK((value >> width) == 0);
+    const unsigned byte = offset >> 3;
+    const unsigned bit = offset & 7;
+    const std::uint32_t mask = std::uint32_t(bitMask(width)) << bit;
+    const std::uint32_t old = loadLe32(line, byte);
+    storeLe32(line, byte,
+              (old & ~mask) | (std::uint32_t(value) << bit));
+}
 
 /** Test a single bit in a cacheline image. */
 inline bool
@@ -70,8 +205,46 @@ setBit(CachelineData &line, unsigned bit, bool value)
  * @param offset first bit of the vector
  * @param nbits  number of bits to scan
  */
+inline unsigned
+popcountBits(const CachelineData &line, unsigned offset, unsigned nbits)
+{
+    MORPH_DCHECK(offset + nbits <= lineBits);
+    if (nbits == 0)
+        return 0;
+
+    const unsigned first = offset >> 6;
+    const unsigned last = (offset + nbits - 1) >> 6;
+    const std::uint64_t head = loadWord(line, first) >> (offset & 63);
+    if (first == last)
+        return unsigned(std::popcount(head & bitMask(nbits)));
+
+    unsigned count = unsigned(std::popcount(head));
+    for (unsigned w = first + 1; w < last; ++w)
+        count += unsigned(std::popcount(loadWord(line, w)));
+    const unsigned end_bit = (offset + nbits - 1) & 63; // inclusive
+    count += unsigned(
+        std::popcount(loadWord(line, last) & bitMask(end_bit + 1)));
+    return count;
+}
+
+/**
+ * Bit-at-a-time reference implementations of the three field
+ * primitives, retained verbatim as the differential-testing oracle:
+ * tests/test_bitfield.cc pits the word-level fast path above against
+ * these across every offset/width, including word-straddling fields.
+ * Nothing on a hot path may call into this namespace.
+ */
+namespace bitnaive
+{
+
+std::uint64_t readBits(const CachelineData &line, unsigned offset,
+                       unsigned width);
+void writeBits(CachelineData &line, unsigned offset, unsigned width,
+               std::uint64_t value);
 unsigned popcountBits(const CachelineData &line, unsigned offset,
                       unsigned nbits);
+
+} // namespace bitnaive
 
 } // namespace morph
 

@@ -153,4 +153,16 @@ binopDetail(const char *a_text, const char *b_text, const A &a,
         #line_expr, (line_expr)                                            \
     }
 
+/**
+ * Debug-only variant of MORPH_CHECK_CONTEXT for hot paths where the
+ * RAII registration (two thread-local list updates per call) is
+ * measurable. The checks themselves stay on in release; only the
+ * failure-time hex dump is debug-only.
+ */
+#if MORPH_DCHECK_IS_ON
+#define MORPH_DCHECK_CONTEXT(line_expr) MORPH_CHECK_CONTEXT(line_expr)
+#else
+#define MORPH_DCHECK_CONTEXT(line_expr) static_cast<void>(0)
+#endif
+
 #endif // MORPH_COMMON_CHECK_HH

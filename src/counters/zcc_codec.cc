@@ -8,47 +8,10 @@ namespace morph
 namespace zcc
 {
 
-namespace
-{
-
-/** Rank of child @p idx: number of set bits strictly below it. */
-unsigned
-rankOf(const CachelineData &line, unsigned idx)
-{
-    return idx == 0 ? 0 : popcountBits(line, bvOffset, idx);
-}
-
-/** Bit offset of the rank-th packed counter at width @p size. */
-unsigned
-slotOffset(unsigned rank, unsigned size)
-{
-    return payloadOffset + rank * size;
-}
-
-} // namespace
-
-unsigned
-sizeForCount(unsigned k)
-{
-    MORPH_CHECK_LE(k, maxNonZero);
-    if (k <= 16)
-        return 16;
-    if (k <= 32)
-        return 8;
-    if (k <= 36)
-        return 7;
-    if (k <= 42)
-        return 6;
-    if (k <= 51)
-        return 5;
-    return 4;
-}
-
-bool
-isZcc(const CachelineData &line)
-{
-    return !testBit(line, fOffset);
-}
+// The decode-side accessors (count, rank, minorValue, setMinor …) are
+// inline in zcc_codec.hh — they are the per-access hot path. The
+// maintenance operations below run once per insert/overflow and stay
+// out of line.
 
 void
 init(CachelineData &line, std::uint64_t major)
@@ -58,46 +21,11 @@ init(CachelineData &line, std::uint64_t major)
     writeBits(line, ctrSzOffset, ctrSzBits, sizeForCount(0));
 }
 
-std::uint64_t
-majorOf(const CachelineData &line)
-{
-    return readBits(line, majorOffset, majorBits);
-}
-
 void
 setMajor(CachelineData &line, std::uint64_t major)
 {
     MORPH_CHECK_EQ(major >> majorBits, 0u);
     writeBits(line, majorOffset, majorBits, major);
-}
-
-unsigned
-ctrSz(const CachelineData &line)
-{
-    return unsigned(readBits(line, ctrSzOffset, ctrSzBits));
-}
-
-unsigned
-count(const CachelineData &line)
-{
-    return popcountBits(line, bvOffset, bvBits);
-}
-
-bool
-isNonZero(const CachelineData &line, unsigned idx)
-{
-    MORPH_CHECK_LT(idx, numCounters);
-    return testBit(line, bvOffset + idx);
-}
-
-std::uint64_t
-minorValue(const CachelineData &line, unsigned idx)
-{
-    MORPH_CHECK_LT(idx, numCounters);
-    if (!isNonZero(line, idx))
-        return 0;
-    const unsigned size = ctrSz(line);
-    return readBits(line, slotOffset(rankOf(line, idx), size), size);
 }
 
 std::uint64_t
@@ -107,22 +35,12 @@ largestMinor(const CachelineData &line)
     const unsigned size = ctrSz(line);
     std::uint64_t largest = 0;
     for (unsigned rank = 0; rank < k; ++rank) {
-        const std::uint64_t v = readBits(line, slotOffset(rank, size),
-                                         size);
+        const std::uint64_t v =
+            readBitsNarrow(line, slotOffset(rank, size), size);
         if (v > largest)
             largest = v;
     }
     return largest;
-}
-
-void
-setMinor(CachelineData &line, unsigned idx, std::uint64_t value)
-{
-    MORPH_CHECK_CONTEXT(line);
-    MORPH_CHECK(isNonZero(line, idx));
-    const unsigned size = ctrSz(line);
-    MORPH_CHECK(value != 0 && (size == 64 || (value >> size) == 0));
-    writeBits(line, slotOffset(rankOf(line, idx), size), size, value);
 }
 
 bool

@@ -28,8 +28,12 @@
 #ifndef MORPH_COUNTERS_ZCC_CODEC_HH
 #define MORPH_COUNTERS_ZCC_CODEC_HH
 
+#include <array>
+#include <bit>
 #include <cstdint>
 
+#include "common/bitfield.hh"
+#include "common/check.hh"
 #include "common/types.hh"
 
 namespace morph
@@ -50,32 +54,168 @@ constexpr unsigned bvBits = 128;
 constexpr unsigned payloadOffset = 192;
 constexpr unsigned payloadBits = 256;
 
+// The bit-vector occupies bits [64, 192): exactly words 1 and 2 of
+// the line's 64-bit word view (common/bitfield.hh). The decode hot
+// path below loads those two words once and answers membership, rank
+// and count questions with masks and hardware popcount — no per-rank
+// loops anywhere. The accessors are defined inline here because they
+// sit under every counter read the simulator performs; call overhead
+// was the dominant cost (docs/PERFORMANCE.md).
+static_assert(bvOffset == 64 && bvBits == 128,
+              "word-level ZCC decode assumes the bit-vector fills "
+              "words 1 and 2 exactly");
+constexpr unsigned bvWord = bvOffset / 64;
+
+/**
+ * §III width schedule as a direct lookup: widthForCount[k] is the
+ * per-counter width when k counters are live. The bucket boundaries
+ * are cross-checked by morphlint rule 1 and the morphverify
+ * ZCC-schedule invariant.
+ */
+inline constexpr std::array<std::uint8_t, maxNonZero + 1>
+    widthForCount = [] {
+        std::array<std::uint8_t, maxNonZero + 1> t{};
+        for (unsigned k = 0; k <= maxNonZero; ++k) {
+            t[k] = k <= 16   ? 16
+                   : k <= 32 ? 8
+                   : k <= 36 ? 7
+                   : k <= 42 ? 6
+                   : k <= 51 ? 5
+                             : 4;
+        }
+        return t;
+    }();
+
 /** Per-counter width (bits) when @p k counters are non-zero (k<=64). */
-unsigned sizeForCount(unsigned k);
+inline unsigned
+sizeForCount(unsigned k)
+{
+    MORPH_CHECK_LE(k, maxNonZero);
+    return widthForCount[k];
+}
+
+/**
+ * Rank of @p idx given the two bit-vector words: set bits strictly
+ * below idx. Branch-free: `ext` is all-ones exactly when idx >= 64, so
+ * the low word saturates to full population and the high word is
+ * masked by the intra-word prefix (and vice versa below 64).
+ */
+inline unsigned
+bvRank(std::uint64_t lo, std::uint64_t hi, unsigned idx)
+{
+    const std::uint64_t prefix = (std::uint64_t(1) << (idx & 63)) - 1;
+    const std::uint64_t ext = std::uint64_t(0) - std::uint64_t(idx >> 6);
+    return unsigned(std::popcount(lo & (prefix | ext)) +
+                    std::popcount(hi & (prefix & ext)));
+}
 
 /** True if the line's format flag selects ZCC. */
-bool isZcc(const CachelineData &line);
-
-/** Initialize to the all-zero ZCC state (major = given value). */
-void init(CachelineData &line, std::uint64_t major = 0);
+inline bool
+isZcc(const CachelineData &line)
+{
+    return !testBit(line, fOffset);
+}
 
 /** Read the 57-bit major counter. */
-std::uint64_t majorOf(const CachelineData &line);
+inline std::uint64_t
+majorOf(const CachelineData &line)
+{
+    return readBits(line, majorOffset, majorBits);
+}
 
 /** Write the 57-bit major counter. */
 void setMajor(CachelineData &line, std::uint64_t major);
 
+/** Initialize to the all-zero ZCC state (major = given value). */
+void init(CachelineData &line, std::uint64_t major = 0);
+
 /** Stored Ctr-Sz field. */
-unsigned ctrSz(const CachelineData &line);
+inline unsigned
+ctrSz(const CachelineData &line)
+{
+    return unsigned(readBits(line, ctrSzOffset, ctrSzBits));
+}
 
 /** Number of non-zero counters (bit-vector popcount). */
-unsigned count(const CachelineData &line);
+inline unsigned
+count(const CachelineData &line)
+{
+    return unsigned(std::popcount(loadWord(line, bvWord)) +
+                    std::popcount(loadWord(line, bvWord + 1)));
+}
 
 /** True if child @p idx has a non-zero minor. */
-bool isNonZero(const CachelineData &line, unsigned idx);
+inline bool
+isNonZero(const CachelineData &line, unsigned idx)
+{
+    MORPH_CHECK_LT(idx, numCounters);
+    return (loadWord(line, bvWord + (idx >> 6)) >> (idx & 63)) & 1;
+}
+
+/** Rank of child @p idx: number of set bits strictly below it. */
+inline unsigned
+rankOf(const CachelineData &line, unsigned idx)
+{
+    return bvRank(loadWord(line, bvWord), loadWord(line, bvWord + 1),
+                  idx);
+}
+
+/** Bit offset of the rank-th packed counter at width @p size. */
+inline unsigned
+slotOffset(unsigned rank, unsigned size)
+{
+    return payloadOffset + rank * size;
+}
 
 /** Minor counter of child @p idx (0 when its bit is clear). */
-std::uint64_t minorValue(const CachelineData &line, unsigned idx);
+inline std::uint64_t
+minorValue(const CachelineData &line, unsigned idx)
+{
+    MORPH_CHECK_LT(idx, numCounters);
+    // One pass over the two bit-vector words answers both the
+    // membership test and the rank; ctrSz and the slot read touch at
+    // most three more words.
+    const std::uint64_t lo = loadWord(line, bvWord);
+    const std::uint64_t hi = loadWord(line, bvWord + 1);
+    const std::uint64_t word = (idx >> 6) ? hi : lo;
+    const std::uint64_t present = (word >> (idx & 63)) & 1;
+    const unsigned rank = bvRank(lo, hi, idx);
+    const unsigned size = ctrSz(line);
+    // Branchless: always read the rank-th slot and mask by membership.
+    // Safe even when the bit is clear — rank <= count and every width
+    // bucket keeps count * size <= payloadBits, so the speculative read
+    // ends at bit slotOffset(count, size) + size <= 448 + 16 < 512
+    // (and the 32-bit narrow-read window ends at byte 60 < 64).
+    const std::uint64_t raw =
+        readBitsNarrow(line, slotOffset(rank, size), size);
+    return raw & (std::uint64_t(0) - present);
+}
+
+/**
+ * Decode every minor counter of the line into @p out (zeros for clear
+ * bits). Walks the bit-vector with countr_zero and reads the packed
+ * slots sequentially, so a full-line decode is one pass over the set
+ * bits instead of numCounters independent rank computations — this is
+ * the unit of work verification and re-encoding perform.
+ */
+inline void
+decodeAll(const CachelineData &line, std::uint64_t (&out)[numCounters])
+{
+    for (unsigned i = 0; i < numCounters; ++i)
+        out[i] = 0;
+    const unsigned size = ctrSz(line);
+    unsigned offset = payloadOffset;
+    for (unsigned w = 0; w < bvBits / 64; ++w) {
+        std::uint64_t bv = loadWord(line, bvWord + w);
+        while (bv) {
+            const unsigned idx =
+                64 * w + unsigned(std::countr_zero(bv));
+            out[idx] = readBitsNarrow(line, offset, size);
+            offset += size;
+            bv &= bv - 1;
+        }
+    }
+}
 
 /** Largest minor counter in the line (0 if none set). */
 std::uint64_t largestMinor(const CachelineData &line);
@@ -84,7 +224,26 @@ std::uint64_t largestMinor(const CachelineData &line);
  * Overwrite the minor of an already-non-zero child. @p value must be
  * non-zero and fit in the current counter size.
  */
-void setMinor(CachelineData &line, unsigned idx, std::uint64_t value);
+inline void
+setMinor(CachelineData &line, unsigned idx, std::uint64_t value)
+{
+    // Debug-only hex-dump registration: this is the per-increment hot
+    // path and the RAII context costs two TLS list updates per call.
+    // The value/membership checks below stay on in release.
+    // Hot-path preconditions are debug-grade here, matching the
+    // bitfield primitives themselves: setMinor sits under every
+    // counter increment and the membership/value-fit loads+branches
+    // are measurable. Maintenance ops (insertNonZero, setMajor) keep
+    // their always-on checks.
+    MORPH_DCHECK_CONTEXT(line);
+    MORPH_DCHECK(isNonZero(line, idx));
+    const unsigned size = ctrSz(line);
+    MORPH_DCHECK(value != 0 && (size == 64 || (value >> size) == 0));
+    // The aligned word RMW beats the unaligned 32-bit window for
+    // writes: successive slot writes partially overlap in the byte
+    // view, and the word view keeps store-to-load forwarding exact.
+    writeBits(line, slotOffset(rankOf(line, idx), size), size, value);
+}
 
 /**
  * Make child @p idx non-zero with value 1, re-packing counters to the

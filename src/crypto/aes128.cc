@@ -1,8 +1,11 @@
 #include "crypto/aes128.hh"
 
+#include <cstdlib>
 #include <cstring>
 
+#include "common/check.hh"
 #include "common/secure_buf.hh"
+#include "crypto/aes_ni.hh"
 
 // This functional AES model uses table lookups indexed by key-mixed
 // state — the classic cache side channel, out of scope for a
@@ -181,8 +184,54 @@ invMixColumns(std::uint8_t *state)
 
 } // namespace
 
-Aes128::Aes128(MORPH_SECRET const Key &key)
+bool
+Aes128::aesniAvailable()
 {
+#ifdef MORPH_HAVE_AESNI
+    static const bool supported = aesni::cpuSupported();
+    return supported;
+#else
+    return false;
+#endif
+}
+
+AesImpl
+Aes128::dispatched()
+{
+    // Resolved exactly once per process (thread-safe magic-static
+    // init); const thereafter, so there is no mutable dispatch state
+    // for morphrace's race-naked-static rule to object to. The env
+    // override is read at latch time only — flipping it later in the
+    // same process has no effect (docs/PERFORMANCE.md).
+    static const AesImpl resolved = [] {
+        const char *force = std::getenv("MORPH_FORCE_PORTABLE_AES");
+        const bool forced = force != nullptr && force[0] != '\0' &&
+                            !(force[0] == '0' && force[1] == '\0');
+        if (forced)
+            return AesImpl::Portable;
+        return aesniAvailable() ? AesImpl::Aesni : AesImpl::Portable;
+    }();
+    return resolved;
+}
+
+const char *
+Aes128::implName(AesImpl impl)
+{
+    switch (impl) {
+      case AesImpl::Auto:
+        return "auto";
+      case AesImpl::Aesni:
+        return "aesni";
+      case AesImpl::Portable:
+      default:
+        return "portable";
+    }
+}
+
+Aes128::Aes128(MORPH_SECRET const Key &key, AesImpl impl)
+    : impl_(impl == AesImpl::Auto ? dispatched() : impl)
+{
+    MORPH_CHECK(impl_ != AesImpl::Aesni || aesniAvailable());
     // First four words come straight from the key (big-endian words).
     for (int i = 0; i < 4; ++i) {
         roundKeys_[std::size_t(i)] =
@@ -199,11 +248,41 @@ Aes128::Aes128(MORPH_SECRET const Key &key)
         }
         roundKeys_[i] = roundKeys_[i - 4] ^ temp;
     }
+
+    if (impl_ == AesImpl::Aesni) {
+        // Serialize the word schedule to the byte order AES-NI loads:
+        // byte 4c+j of round r is byte j (big-endian) of word 4r+c —
+        // exactly the FIPS-197 byte stream, column-major like the
+        // portable state. The decryption schedule is emitted in
+        // aesdec application order with InvMixColumns folded into the
+        // nine middle keys (the aesimc transform, computed here with
+        // the same portable invMixColumns the table path uses).
+        for (unsigned r = 0; r <= rounds; ++r) {
+            for (unsigned c = 0; c < 4; ++c) {
+                const std::uint32_t w = roundKeys_[4 * r + c];
+                std::uint8_t *out = encKeysNi_.data() + 16 * r + 4 * c;
+                out[0] = std::uint8_t(w >> 24);
+                out[1] = std::uint8_t(w >> 16);
+                out[2] = std::uint8_t(w >> 8);
+                out[3] = std::uint8_t(w);
+            }
+        }
+        for (unsigned slot = 0; slot <= rounds; ++slot) {
+            std::memcpy(decKeysNi_.data() + 16 * slot,
+                        encKeysNi_.data() + 16 * (rounds - slot), 16);
+            if (slot != 0 && slot != rounds)
+                invMixColumns(decKeysNi_.data() + 16 * slot);
+        }
+    }
 }
 
 Aes128::Block
 Aes128::encrypt(const Block &plaintext) const
 {
+#ifdef MORPH_HAVE_AESNI
+    if (impl_ == AesImpl::Aesni)
+        return aesni::encryptBlock(encKeysNi_.data(), plaintext);
+#endif
     MORPH_SECRET std::uint8_t state[16];
     std::memcpy(state, plaintext.data(), 16);
 
@@ -229,6 +308,10 @@ Aes128::encrypt(const Block &plaintext) const
 Aes128::Block
 Aes128::decrypt(const Block &ciphertext) const
 {
+#ifdef MORPH_HAVE_AESNI
+    if (impl_ == AesImpl::Aesni)
+        return aesni::decryptBlock(decKeysNi_.data(), ciphertext);
+#endif
     MORPH_SECRET std::uint8_t state[16];
     std::memcpy(state, ciphertext.data(), 16);
 
@@ -249,6 +332,19 @@ Aes128::decrypt(const Block &ciphertext) const
     // Same boundary as encrypt(): the recovered plaintext cacheline is
     // ordinary program data, not key material.
     return MORPH_DECLASSIFY(out);
+}
+
+void
+Aes128::encrypt4(const Block in[4], Block out[4]) const
+{
+#ifdef MORPH_HAVE_AESNI
+    if (impl_ == AesImpl::Aesni) {
+        aesni::encryptBlocks4(encKeysNi_.data(), in, out);
+        return;
+    }
+#endif
+    for (unsigned i = 0; i < 4; ++i)
+        out[i] = encrypt(in[i]);
 }
 
 } // namespace morph

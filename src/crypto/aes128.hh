@@ -1,12 +1,24 @@
 /**
  * @file
- * AES-128 block cipher (FIPS-197), software implementation.
+ * AES-128 block cipher (FIPS-197) with runtime-dispatched backends.
  *
  * Used as the block cipher for counter-mode encryption of data
- * cachelines (Fig 2 of the paper). The implementation favours clarity
- * and portability: S-box based SubBytes with table-accelerated
- * MixColumns. Verified against the FIPS-197 appendix vectors in the
- * test suite.
+ * cachelines (Fig 2 of the paper). Two interchangeable, bit-identical
+ * implementations sit behind one API:
+ *
+ *  - a portable S-box/table software path (the original model, kept
+ *    as the fallback and as the differential-testing oracle), and
+ *  - an AES-NI path (src/crypto/aes128_ni.cc) selected by a one-time
+ *    CPUID probe when the build and the CPU both support it.
+ *
+ * Dispatch contract (docs/PERFORMANCE.md): construction with
+ * AesImpl::Auto resolves the backend exactly once per process via
+ * dispatched() — CPUID probe plus the MORPH_FORCE_PORTABLE_AES
+ * environment override (any non-empty value other than "0" forces the
+ * portable path; used by CI to keep the fallback covered on AES-NI
+ * machines). Tests pin a specific backend by passing it explicitly.
+ * FIPS-197 KATs plus randomized cross-checks in tests/test_aes.cc
+ * prove the two paths byte-identical.
  *
  * Note: this software AES models *functionality* only. In the timing
  * model the AES latency is assumed hidden by OTP precomputation,
@@ -25,6 +37,14 @@
 namespace morph
 {
 
+/** AES backend selector (see the dispatch contract above). */
+enum class AesImpl : std::uint8_t
+{
+    Auto,     ///< resolve via CPUID + MORPH_FORCE_PORTABLE_AES, once
+    Portable, ///< S-box/table software path
+    Aesni,    ///< hardware AES-NI path (requires aesniAvailable())
+};
+
 /** AES-128: 16-byte block, 16-byte key, 10 rounds. */
 class Aes128
 {
@@ -35,8 +55,16 @@ class Aes128
     using Block = std::array<std::uint8_t, blockBytes>;
     using Key = std::array<std::uint8_t, keyBytes>;
 
-    /** Expand @p key into the round-key schedule. */
-    explicit Aes128(MORPH_SECRET const Key &key);
+    /**
+     * Expand @p key into the round-key schedule.
+     *
+     * @param impl backend to use; Auto (the default) latches the
+     *             process-wide dispatched() choice. Passing Aesni on
+     *             a machine without AES-NI support is a contract
+     *             violation (MORPH_CHECK).
+     */
+    explicit Aes128(MORPH_SECRET const Key &key,
+                    AesImpl impl = AesImpl::Auto);
 
     /** Encrypt one 16-byte block. */
     Block encrypt(const Block &plaintext) const;
@@ -44,10 +72,46 @@ class Aes128
     /** Decrypt one 16-byte block. */
     Block decrypt(const Block &ciphertext) const;
 
+    /**
+     * Encrypt four independent blocks. Same result as four encrypt()
+     * calls; the AES-NI backend interleaves the rounds so the four
+     * streams hide each other's instruction latency — this is the
+     * OtpEngine cacheline-pad fast path.
+     */
+    void encrypt4(const Block in[4], Block out[4]) const;
+
+    /** The backend this instance uses (never Auto). */
+    AesImpl impl() const { return impl_; }
+
+    /** True if the build and the CPU both support the AES-NI path. */
+    static bool aesniAvailable();
+
+    /**
+     * The backend AesImpl::Auto resolves to: Aesni when available and
+     * not overridden by MORPH_FORCE_PORTABLE_AES, else Portable.
+     * Latched on first use for the life of the process.
+     */
+    static AesImpl dispatched();
+
+    /** Short stable name of a backend ("portable" / "aesni"). */
+    static const char *implName(AesImpl impl);
+
   private:
-    // Round keys: (rounds + 1) x 4 words, wiped on destruction.
     static constexpr unsigned rounds = 10;
+
+    // Round keys: (rounds + 1) x 4 big-endian words, wiped on
+    // destruction. Both backends derive from this one schedule.
     MORPH_SECRET SecretArray<std::uint32_t, 4 * (rounds + 1)> roundKeys_;
+
+    // AES-NI key material, byte-serialized (see aes128.cc): the
+    // encryption schedule in round order and the decryption schedule
+    // in aesdec application order (with InvMixColumns folded into the
+    // middle round keys). Wiped on destruction like the word schedule;
+    // only populated when impl_ == Aesni.
+    MORPH_SECRET SecretArray<std::uint8_t, 16 * (rounds + 1)> encKeysNi_;
+    MORPH_SECRET SecretArray<std::uint8_t, 16 * (rounds + 1)> decKeysNi_;
+
+    AesImpl impl_;
 };
 
 } // namespace morph

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Internal interface to the AES-NI backend (src/crypto/aes128_ni.cc).
+ *
+ * The backend is a separate translation unit because it must be
+ * compiled with -maes while the rest of the tree stays baseline-ISA;
+ * callers reach it only through Aes128, which gates every call on the
+ * one-time CPUID dispatch (aes128.cc). When the toolchain or target
+ * cannot build the backend, CMake simply omits the TU and aes128.cc
+ * compiles the calls away (MORPH_HAVE_AESNI undefined), so the
+ * declarations below are always safe to include.
+ *
+ * Key material crosses this boundary as the byte-serialized schedules
+ * Aes128 stores in SecretArray members — the backend never owns or
+ * copies key bytes, it only streams them into registers.
+ */
+
+#ifndef MORPH_CRYPTO_AES_NI_HH
+#define MORPH_CRYPTO_AES_NI_HH
+
+#include <cstdint>
+
+#include "crypto/aes128.hh"
+
+namespace morph
+{
+namespace aesni
+{
+
+/** CPUID probe: true when the CPU executes AES-NI instructions. */
+bool cpuSupported();
+
+/** Encrypt one block with the byte-serialized encryption schedule. */
+Aes128::Block encryptBlock(const std::uint8_t *enc_keys,
+                           const Aes128::Block &in);
+
+/**
+ * Decrypt one block with the aesdec-ordered decryption schedule
+ * (round 10 key first, InvMixColumns-folded middle keys, round 0
+ * key last — the order buildNiSchedules in aes128.cc emits).
+ */
+Aes128::Block decryptBlock(const std::uint8_t *dec_keys,
+                           const Aes128::Block &in);
+
+/** Encrypt four independent blocks with the rounds interleaved. */
+void encryptBlocks4(const std::uint8_t *enc_keys,
+                    const Aes128::Block in[4], Aes128::Block out[4]);
+
+} // namespace aesni
+} // namespace morph
+
+#endif // MORPH_CRYPTO_AES_NI_HH

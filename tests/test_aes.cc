@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "common/rng.hh"
 #include "crypto/aes128.hh"
 
@@ -104,6 +108,142 @@ TEST(Aes128, PlaintextSensitivity)
     for (unsigned i = 0; i < 16; ++i)
         differing += ca[i] != cb[i];
     EXPECT_GE(differing, 8u);
+}
+
+/**
+ * Backend-pinned known-answer tests: the FIPS-197 vectors must hold
+ * for each implementation individually, not just whichever one the
+ * runtime dispatch selects. The AES-NI cases skip on hardware without
+ * the extension (or builds without the -maes TU); the ctest pin
+ * `crypto_portable_aes` additionally re-runs the whole crypto suite
+ * with MORPH_FORCE_PORTABLE_AES=1 so the portable path stays covered
+ * on AES-NI machines too.
+ */
+
+struct Fips197Vector {
+    Aes128::Key key;
+    Aes128::Block plain;
+    Aes128::Block cipher;
+};
+
+std::vector<Fips197Vector>
+fips197Vectors()
+{
+    return {
+        {block({0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab,
+                0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}),
+         block({0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31,
+                0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34}),
+         block({0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc,
+                0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32})},
+        {block({0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08,
+                0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f}),
+         block({0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88,
+                0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}),
+         block({0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8,
+                0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a})},
+    };
+}
+
+TEST(Aes128Backends, PortableKnownAnswers)
+{
+    for (const auto &v : fips197Vectors()) {
+        Aes128 aes(v.key, AesImpl::Portable);
+        EXPECT_EQ(aes.impl(), AesImpl::Portable);
+        EXPECT_EQ(aes.encrypt(v.plain), v.cipher);
+        EXPECT_EQ(aes.decrypt(v.cipher), v.plain);
+    }
+}
+
+TEST(Aes128Backends, AesniKnownAnswers)
+{
+    if (!Aes128::aesniAvailable())
+        GTEST_SKIP() << "AES-NI not available in this build/CPU";
+    for (const auto &v : fips197Vectors()) {
+        Aes128 aes(v.key, AesImpl::Aesni);
+        EXPECT_EQ(aes.impl(), AesImpl::Aesni);
+        EXPECT_EQ(aes.encrypt(v.plain), v.cipher);
+        EXPECT_EQ(aes.decrypt(v.cipher), v.plain);
+    }
+}
+
+/** Randomized cross-check: both backends are byte-identical. */
+TEST(Aes128Backends, PortableAesniCrossCheck)
+{
+    if (!Aes128::aesniAvailable())
+        GTEST_SKIP() << "AES-NI not available in this build/CPU";
+    Rng rng(73);
+    for (int iter = 0; iter < 500; ++iter) {
+        Aes128::Key key;
+        Aes128::Block plain;
+        for (auto &b : key)
+            b = std::uint8_t(rng.next());
+        for (auto &b : plain)
+            b = std::uint8_t(rng.next());
+        Aes128 portable(key, AesImpl::Portable);
+        Aes128 hw(key, AesImpl::Aesni);
+        const auto cipher = portable.encrypt(plain);
+        ASSERT_EQ(hw.encrypt(plain), cipher) << "iter " << iter;
+        ASSERT_EQ(hw.decrypt(cipher), plain) << "iter " << iter;
+    }
+}
+
+/** encrypt4 must equal four independent single-block encryptions. */
+TEST(Aes128Backends, Encrypt4MatchesSingleBlocks)
+{
+    Rng rng(91);
+    std::vector<AesImpl> impls = {AesImpl::Portable};
+    if (Aes128::aesniAvailable())
+        impls.push_back(AesImpl::Aesni);
+    for (const auto impl : impls) {
+        for (int iter = 0; iter < 100; ++iter) {
+            Aes128::Key key;
+            for (auto &b : key)
+                b = std::uint8_t(rng.next());
+            Aes128 aes(key, impl);
+            Aes128::Block in[4];
+            for (auto &blk : in)
+                for (auto &b : blk)
+                    b = std::uint8_t(rng.next());
+            Aes128::Block out[4];
+            aes.encrypt4(in, out);
+            for (unsigned i = 0; i < 4; ++i)
+                ASSERT_EQ(out[i], aes.encrypt(in[i]))
+                    << "impl=" << Aes128::implName(impl) << " block "
+                    << i;
+        }
+    }
+}
+
+/**
+ * Dispatch contract: Auto resolves to the latched one-time decision,
+ * which honors MORPH_FORCE_PORTABLE_AES (read once; the ctest pin
+ * runs the suite under the override) and otherwise prefers AES-NI
+ * exactly when the hardware has it.
+ */
+TEST(Aes128Backends, AutoFollowsDispatch)
+{
+    Aes128 aes(Aes128::Key{});
+    EXPECT_EQ(aes.impl(), Aes128::dispatched());
+    EXPECT_NE(aes.impl(), AesImpl::Auto);
+
+    const char *force = std::getenv("MORPH_FORCE_PORTABLE_AES");
+    const bool forced = force && *force &&
+                        std::string(force) != "0";
+    if (forced)
+        EXPECT_EQ(Aes128::dispatched(), AesImpl::Portable);
+    else if (Aes128::aesniAvailable())
+        EXPECT_EQ(Aes128::dispatched(), AesImpl::Aesni);
+    else
+        EXPECT_EQ(Aes128::dispatched(), AesImpl::Portable);
+}
+
+TEST(Aes128Backends, ImplNames)
+{
+    EXPECT_STREQ(Aes128::implName(AesImpl::Auto), "auto");
+    EXPECT_STREQ(Aes128::implName(AesImpl::Portable),
+                 "portable");
+    EXPECT_STREQ(Aes128::implName(AesImpl::Aesni), "aesni");
 }
 
 } // namespace

@@ -122,5 +122,150 @@ TEST(BitfieldProperty, RandomRoundTrips)
     }
 }
 
+/**
+ * Differential tests: the word-level fast path (readBits/writeBits/
+ * popcountBits and the narrow 32-bit-window variants) must agree with
+ * the retained bit-at-a-time reference (morph::bitnaive) on every
+ * offset x width combination, including word-straddling fields.
+ */
+
+CachelineData
+patternedLine(std::uint64_t seed)
+{
+    CachelineData line;
+    Rng rng(seed);
+    for (auto &b : line)
+        b = std::uint8_t(rng.next());
+    return line;
+}
+
+TEST(BitfieldDifferential, ReadMatchesNaiveExhaustive)
+{
+    const CachelineData line = patternedLine(1);
+    for (unsigned width = 1; width <= 64; ++width)
+        for (unsigned offset = 0; offset + width <= 512; ++offset)
+            ASSERT_EQ(readBits(line, offset, width),
+                      bitnaive::readBits(line, offset, width))
+                << "offset=" << offset << " width=" << width;
+}
+
+TEST(BitfieldDifferential, WriteMatchesNaiveExhaustive)
+{
+    const CachelineData base = patternedLine(2);
+    Rng rng(3);
+    for (unsigned width = 1; width <= 64; ++width) {
+        for (unsigned offset = 0; offset + width <= 512; ++offset) {
+            const std::uint64_t value =
+                width == 64 ? rng.next()
+                            : rng.next() & ((1ull << width) - 1);
+            CachelineData fast = base;
+            CachelineData naive = base;
+            writeBits(fast, offset, width, value);
+            bitnaive::writeBits(naive, offset, width, value);
+            ASSERT_EQ(fast, naive)
+                << "offset=" << offset << " width=" << width;
+        }
+    }
+}
+
+TEST(BitfieldDifferential, PopcountMatchesNaiveExhaustive)
+{
+    const CachelineData line = patternedLine(4);
+    for (unsigned offset = 0; offset < 512; ++offset)
+        for (unsigned nbits = 0; offset + nbits <= 512; ++nbits)
+            ASSERT_EQ(popcountBits(line, offset, nbits),
+                      bitnaive::popcountBits(line, offset, nbits))
+                << "offset=" << offset << " nbits=" << nbits;
+}
+
+TEST(BitfieldDifferential, NarrowReadMatchesNaive)
+{
+    const CachelineData line = patternedLine(5);
+    for (unsigned width = 1; width <= 25; ++width)
+        for (unsigned offset = 0; offset + width <= 512; ++offset) {
+            if ((offset >> 3) + 4 > lineBytes)
+                continue; // outside the narrow 32-bit window contract
+            ASSERT_EQ(readBitsNarrow(line, offset, width),
+                      bitnaive::readBits(line, offset, width))
+                << "offset=" << offset << " width=" << width;
+        }
+}
+
+TEST(BitfieldDifferential, NarrowWriteMatchesNaive)
+{
+    const CachelineData base = patternedLine(6);
+    Rng rng(7);
+    for (unsigned width = 1; width <= 25; ++width) {
+        for (unsigned offset = 0; offset + width <= 512; ++offset) {
+            if ((offset >> 3) + 4 > lineBytes)
+                continue;
+            const std::uint64_t value =
+                rng.next() & ((1ull << width) - 1);
+            CachelineData fast = base;
+            CachelineData naive = base;
+            writeBitsNarrow(fast, offset, width, value);
+            bitnaive::writeBits(naive, offset, width, value);
+            ASSERT_EQ(fast, naive)
+                << "offset=" << offset << " width=" << width;
+        }
+    }
+}
+
+/**
+ * Seeded mixed-operation fuzz: apply an identical random stream of
+ * writes to a fast-path line and a naive-path line, interleaved with
+ * read/popcount cross-checks biased toward word-straddling fields.
+ */
+TEST(BitfieldDifferential, MixedOperationFuzz)
+{
+    Rng rng(0xbf1e1d);
+    CachelineData fast = patternedLine(8);
+    CachelineData naive = fast;
+    for (int iter = 0; iter < 20000; ++iter) {
+        unsigned width = 1 + unsigned(rng.below(64));
+        unsigned offset;
+        if (width > 1 && rng.below(2)) {
+            // Force a word straddle: place the field so it starts in
+            // word `word` and ends in the next one.
+            const unsigned word = unsigned(rng.below(7));
+            const unsigned bit =
+                65 - width + unsigned(rng.below(width - 1));
+            offset = 64 * word + bit;
+        } else {
+            offset = unsigned(rng.below(512 - width + 1));
+        }
+        switch (rng.below(4)) {
+        case 0: {
+            const std::uint64_t value =
+                width == 64 ? rng.next()
+                            : rng.next() & ((1ull << width) - 1);
+            writeBits(fast, offset, width, value);
+            bitnaive::writeBits(naive, offset, width, value);
+            break;
+        }
+        case 1:
+            ASSERT_EQ(readBits(fast, offset, width),
+                      bitnaive::readBits(naive, offset, width))
+                << "offset=" << offset << " width=" << width;
+            break;
+        case 2:
+            ASSERT_EQ(popcountBits(fast, offset, width),
+                      bitnaive::popcountBits(naive, offset, width))
+                << "offset=" << offset << " width=" << width;
+            break;
+        default: {
+            if (width > 25 || (offset >> 3) + 4 > lineBytes)
+                break;
+            const std::uint64_t value =
+                rng.next() & ((1ull << width) - 1);
+            writeBitsNarrow(fast, offset, width, value);
+            bitnaive::writeBits(naive, offset, width, value);
+            break;
+        }
+        }
+        ASSERT_EQ(fast, naive) << "diverged at iter " << iter;
+    }
+}
+
 } // namespace
 } // namespace morph

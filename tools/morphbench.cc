@@ -13,7 +13,9 @@
  * Usage:
  *   morphbench [--quick] [--out FILE] [--rev NAME]
  *              [--accesses N] [--warmup N] [--jobs N]
+ *              [--kernels] [--kernel-ms N]
  *   morphbench --compare BASE.json NEW.json [--tolerance F]
+ *              [--kernel-min-ratio F]
  *
  * The run mode writes BENCH_<rev>.json by default. The quick matrix
  * is small enough for per-push CI (~seconds); the full matrix covers
@@ -25,6 +27,16 @@
  * collected in matrix order, so the written JSON is byte-identical
  * at every --jobs level (pinned by the morphbench_jobs_determinism
  * tier-1 test).
+ *
+ * --kernels additionally measures the hot-path kernel suite
+ * (bench/kernels.hh) and emits a "kernels" array plus a "kernel_gate"
+ * object. Kernel rates are wall-clock measurements and therefore NOT
+ * byte-identical across runs — the flag is opt-in precisely so the
+ * default output keeps the byte-identity contract. The gate is
+ * one-directional: --compare fails a kernel only when the new rate
+ * falls below min_ratio x the baseline rate (slower is a regression;
+ * faster never fails). min_ratio travels in the baseline document so
+ * the threshold is versioned with the blessed numbers.
  *
  * Exit codes: 0 success, 1 drift or comparison failure, 2 bad
  * command line, 4 I/O failure.
@@ -41,6 +53,7 @@
 #include "common/json.hh"
 #include "common/mutex.hh"
 #include "common/run_pool.hh"
+#include "kernels.hh"
 #include "sim/simulator.hh"
 
 namespace
@@ -87,10 +100,14 @@ treeByName(const std::string &name)
     std::exit(2);
 }
 
+/** Default one-directional kernel-gate threshold (see file header). */
+constexpr double kernelMinRatioDefault = 0.5;
+
 int
 runMatrix(bool quick, const std::string &out_path,
           const std::string &rev, std::uint64_t accesses,
-          std::uint64_t warmup, unsigned jobs)
+          std::uint64_t warmup, unsigned jobs, bool with_kernels,
+          double kernel_seconds)
 {
     const BenchCase *cases = quick ? quickMatrix : fullMatrix;
     const std::size_t count = quick
@@ -152,7 +169,35 @@ runMatrix(bool quick, const std::string &out_path,
             os << ",";
         os << "\n    " << cells[i];
     }
-    os << "\n  ]\n}\n";
+    os << "\n  ]";
+
+    if (with_kernels) {
+        std::fprintf(stderr,
+                     "morphbench: measuring %s kernels (%.0f ms"
+                     " each)\n",
+                     "hot-path", kernel_seconds * 1000.0);
+        const auto rates = kernels::measureAll(kernel_seconds);
+        os << ",\n  \"kernels\": [";
+        for (std::size_t i = 0; i < rates.size(); ++i) {
+            if (i)
+                os << ",";
+            os << "\n    {\"name\": \"" << rates[i].name
+               << "\", \"ops_per_sec\": "
+               << jsonNumber(rates[i].ops_per_sec) << "}";
+            std::fprintf(stderr, "morphbench: kernel %-18s %14.0f"
+                         " ops/s\n",
+                         rates[i].name.c_str(),
+                         rates[i].ops_per_sec);
+        }
+        // The gate direction and threshold travel with the document:
+        // a comparison fails a kernel only when the new rate drops
+        // below min_ratio x this baseline (lower-is-worse).
+        os << "\n  ],\n  \"kernel_gate\": {\"direction\":"
+              " \"lower-is-worse\", \"min_ratio\": "
+           << jsonNumber(kernelMinRatioDefault) << "}";
+    }
+
+    os << "\n}\n";
 
     std::ofstream out(out_path);
     if (!out || !(out << os.str())) {
@@ -200,9 +245,91 @@ loadDoc(const std::string &path, int &rc)
     return doc;
 }
 
+/**
+ * One-directional kernel throughput gate. Throughput metrics compare
+ * lower-is-worse: a regression is the new rate dropping below
+ * min_ratio x baseline; a faster kernel never fails. Baselines
+ * without a "kernels" section skip the gate (pre-kernel documents);
+ * a baseline WITH kernels requires the new document to have them.
+ * @return number of failures
+ */
+int
+compareKernels(const JsonValue &base, const JsonValue &fresh,
+               const std::string &new_path, double min_ratio_override)
+{
+    const JsonValue *base_kernels = base.find("kernels");
+    if (!base_kernels)
+        return 0;
+
+    double min_ratio = kernelMinRatioDefault;
+    if (const JsonValue *gate = base.find("kernel_gate"))
+        if (const JsonValue *mr = gate->find("min_ratio"))
+            min_ratio = mr->asNumber();
+    if (min_ratio_override >= 0.0)
+        min_ratio = min_ratio_override;
+
+    const JsonValue *new_kernels = fresh.find("kernels");
+    if (!new_kernels) {
+        std::fprintf(stderr,
+                     "morphbench: FAIL kernels: baseline has a"
+                     " kernel section but %s has none (run with"
+                     " --kernels)\n",
+                     new_path.c_str());
+        return 1;
+    }
+
+    int failures = 0;
+    for (const JsonValue &base_k : base_kernels->elements()) {
+        const JsonValue *name = base_k.find("name");
+        const JsonValue *bv = base_k.find("ops_per_sec");
+        if (!name || !bv)
+            continue;
+        const std::string kname = name->asString();
+        const JsonValue *new_k = nullptr;
+        for (const JsonValue &candidate : new_kernels->elements()) {
+            const JsonValue *cn = candidate.find("name");
+            if (cn && cn->asString() == kname)
+                new_k = &candidate;
+        }
+        if (!new_k) {
+            std::fprintf(stderr,
+                         "morphbench: FAIL kernel %s: missing from"
+                         " %s\n",
+                         kname.c_str(), new_path.c_str());
+            ++failures;
+            continue;
+        }
+        const JsonValue *nv = new_k->find("ops_per_sec");
+        const double b = bv->asNumber();
+        const double n = nv ? nv->asNumber() : std::nan("");
+        if (!std::isfinite(b) || !std::isfinite(n) || b <= 0.0) {
+            std::fprintf(stderr,
+                         "morphbench: FAIL kernel %s: rate not"
+                         " finite/positive\n",
+                         kname.c_str());
+            ++failures;
+            continue;
+        }
+        const double ratio = n / b;
+        if (ratio < min_ratio) {
+            std::fprintf(stderr,
+                         "morphbench: FAIL kernel %s: %.4g ->"
+                         " %.4g ops/s (ratio %.2f < min %.2f)\n",
+                         kname.c_str(), b, n, ratio, min_ratio);
+            ++failures;
+        } else {
+            std::fprintf(stderr,
+                         "morphbench: ok   kernel %s: %.4g ->"
+                         " %.4g ops/s (ratio %.2f)\n",
+                         kname.c_str(), b, n, ratio);
+        }
+    }
+    return failures;
+}
+
 int
 compare(const std::string &base_path, const std::string &new_path,
-        double tolerance)
+        double tolerance, double kernel_min_ratio)
 {
     int rc = 0;
     const JsonValue base = loadDoc(base_path, rc);
@@ -269,6 +396,8 @@ compare(const std::string &base_path, const std::string &new_path,
             }
         }
     }
+    failures += compareKernels(base, fresh, new_path,
+                               kernel_min_ratio);
     if (failures) {
         std::fprintf(stderr,
                      "morphbench: %d failure(s); if the change is"
@@ -294,8 +423,16 @@ usage()
         "  --jobs N            run matrix cells on N worker threads\n"
         "                      (default: hardware concurrency; output\n"
         "                      is byte-identical at every level)\n"
+        "  --kernels           also measure the hot-path kernel suite\n"
+        "                      (wall-clock rates; output is no longer\n"
+        "                      byte-identical across runs)\n"
+        "  --kernel-ms N       per-kernel measurement time in ms\n"
+        "                      (default 200)\n"
         "  --compare BASE NEW  compare two bench documents\n"
-        "  --tolerance F       max relative drift (default 0.05)\n");
+        "  --tolerance F       max relative drift for sim cells\n"
+        "                      (default 0.05)\n"
+        "  --kernel-min-ratio F  fail a kernel below F x baseline\n"
+        "                      (default: baseline's kernel_gate)\n");
 }
 
 } // namespace
@@ -309,6 +446,9 @@ main(int argc, char **argv)
     std::string compare_base;
     std::string compare_new;
     double tolerance = 0.05;
+    double kernel_min_ratio = -1.0; // negative: use baseline's gate
+    bool with_kernels = false;
+    double kernel_seconds = 0.2;
     std::uint64_t accesses = 20'000;
     std::uint64_t warmup = 5'000;
     unsigned jobs = RunPool::hardwareJobs();
@@ -342,11 +482,24 @@ main(int argc, char **argv)
                 return 2;
             }
             jobs = unsigned(v);
+        } else if (arg == "--kernels") {
+            with_kernels = true;
+        } else if (arg == "--kernel-ms") {
+            const double ms = std::atof(value());
+            if (ms <= 0.0) {
+                std::fprintf(stderr,
+                             "morphbench: --kernel-ms needs a value"
+                             " > 0\n");
+                return 2;
+            }
+            kernel_seconds = ms / 1000.0;
         } else if (arg == "--compare") {
             compare_base = value();
             compare_new = value();
         } else if (arg == "--tolerance") {
             tolerance = std::atof(value());
+        } else if (arg == "--kernel-min-ratio") {
+            kernel_min_ratio = std::atof(value());
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -359,9 +512,11 @@ main(int argc, char **argv)
     }
 
     if (!compare_base.empty())
-        return compare(compare_base, compare_new, tolerance);
+        return compare(compare_base, compare_new, tolerance,
+                       kernel_min_ratio);
 
     if (out_path.empty())
         out_path = "BENCH_" + rev + ".json";
-    return runMatrix(quick, out_path, rev, accesses, warmup, jobs);
+    return runMatrix(quick, out_path, rev, accesses, warmup, jobs,
+                     with_kernels, kernel_seconds);
 }
