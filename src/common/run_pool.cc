@@ -1,6 +1,7 @@
 #include "common/run_pool.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/check.hh"
 
@@ -36,9 +37,13 @@ RunPool::RunPool(unsigned threads)
     shards_.reserve(count);
     for (unsigned i = 0; i < count; ++i)
         shards_.push_back(std::make_unique<Shard>());
+    counters_.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        counters_.push_back(std::make_unique<WorkerCounters>());
     workers_.reserve(count);
     for (unsigned i = 0; i < count; ++i)
         workers_.emplace_back([this, i]() { workerLoop(i); });
+    profToken_ = profRegisterPool([this]() { return telemetry(); });
 }
 
 RunPool::~RunPool()
@@ -50,6 +55,25 @@ RunPool::~RunPool()
     wake_.notify_all();
     for (std::thread &worker : workers_)
         worker.join();
+    // After the join: the snapshot morphprof takes here reads final,
+    // settled counters.
+    profUnregisterPool(profToken_);
+}
+
+std::vector<ProfWorkerStats>
+RunPool::telemetry() const
+{
+    std::vector<ProfWorkerStats> stats(counters_.size());
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+        const WorkerCounters &c = *counters_[i];
+        stats[i].worker = unsigned(i);
+        stats[i].tasks = c.tasks.load(std::memory_order_relaxed);
+        stats[i].steals = c.steals.load(std::memory_order_relaxed);
+        stats[i].stealFails =
+            c.stealFails.load(std::memory_order_relaxed);
+        stats[i].idleNs = c.idleNs.load(std::memory_order_relaxed);
+    }
+    return stats;
 }
 
 bool
@@ -57,26 +81,30 @@ RunPool::popLocal(unsigned id, std::size_t &task)
 {
     Shard &shard = *shards_[id];
     LockGuard guard(shard.lock);
-    if (shard.tasks.empty())
+    if (shard.taskQueue.empty())
         return false;
-    task = shard.tasks.front();
-    shard.tasks.pop_front();
+    task = shard.taskQueue.front();
+    shard.taskQueue.pop_front();
     return true;
 }
 
 bool
 RunPool::stealTask(unsigned id, std::size_t &task)
 {
+    WorkerCounters &mine = *counters_[id];
     const std::size_t n = shards_.size();
     for (std::size_t k = 1; k < n; ++k) {
         Shard &victim = *shards_[(id + k) % n];
         LockGuard guard(victim.lock);
-        if (victim.tasks.empty())
+        if (victim.taskQueue.empty())
             continue;
-        task = victim.tasks.back();
-        victim.tasks.pop_back();
+        task = victim.taskQueue.back();
+        victim.taskQueue.pop_back();
+        mine.steals.fetch_add(1, std::memory_order_relaxed);
         return true;
     }
+    // A full scan over every sibling found nothing to steal.
+    mine.stealFails.fetch_add(1, std::memory_order_relaxed);
     return false;
 }
 
@@ -106,6 +134,7 @@ RunPool::runTask(std::size_t task)
     std::exception_ptr error;
     try {
         MORPH_CHECK(fn != nullptr);
+        MORPH_PROF_SCOPE("pool.task");
         (*fn)(task);
     } catch (...) {
         error = std::current_exception();
@@ -119,22 +148,35 @@ RunPool::runTask(std::size_t task)
 void
 RunPool::workerLoop(unsigned id)
 {
+    profSetThreadName("worker" + std::to_string(id));
+    WorkerCounters &mine = *counters_[id];
     std::uint64_t seen = 0;
     while (true) {
         {
             UniqueLock guard(lock_);
+            // Idle time is metered only under morphprof: two clock
+            // reads per sleep are not worth paying on every run.
+            const bool meterIdle = profEnabled();
+            const std::uint64_t idleStart =
+                meterIdle ? profNowNs() : 0;
             // Explicit wait loop (not the predicate overload) so both
             // checkers see the guarded reads inside the held region.
             while (!shutdown_ &&
                    !(session_ != seen && pending_ > 0))
                 wake_.wait(guard);
+            if (meterIdle) {
+                mine.idleNs.fetch_add(profNowNs() - idleStart,
+                                      std::memory_order_relaxed);
+            }
             if (shutdown_)
                 return;
             seen = session_;
         }
         std::size_t task;
-        while (popLocal(id, task) || stealTask(id, task))
+        while (popLocal(id, task) || stealTask(id, task)) {
+            mine.tasks.fetch_add(1, std::memory_order_relaxed);
             runTask(task);
+        }
     }
 }
 
@@ -160,7 +202,7 @@ RunPool::forEach(std::size_t count,
         Shard &shard = *shards_[s];
         LockGuard shard_guard(shard.lock);
         for (std::size_t i = lo; i < hi; ++i)
-            shard.tasks.push_back(i);
+            shard.taskQueue.push_back(i);
     }
     fn_ = &fn;
     pending_ = count;
@@ -177,6 +219,35 @@ RunPool::forEach(std::size_t count,
         guard.unlock();
         std::rethrow_exception(error);
     }
+}
+
+std::string
+SweepEngine::utilization() const
+{
+    const std::vector<ProfWorkerStats> stats = pool_.telemetry();
+    std::uint64_t tasks = 0, steals = 0, fails = 0, idle = 0;
+    std::uint64_t lo = ~std::uint64_t(0), hi = 0;
+    for (const ProfWorkerStats &ws : stats) {
+        tasks += ws.tasks;
+        steals += ws.steals;
+        fails += ws.stealFails;
+        idle += ws.idleNs;
+        lo = std::min(lo, ws.tasks);
+        hi = std::max(hi, ws.tasks);
+    }
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "jobs %zu: %llu tasks (min %llu / max %llu per "
+                  "worker), %llu steals, %llu empty scans, "
+                  "idle %.1f ms total",
+                  stats.size(),
+                  static_cast<unsigned long long>(tasks),
+                  static_cast<unsigned long long>(lo),
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(steals),
+                  static_cast<unsigned long long>(fails),
+                  double(idle) / 1e6);
+    return std::string(buf);
 }
 
 } // namespace morph

@@ -42,18 +42,21 @@
 #ifndef MORPH_COMMON_RUN_POOL_HH
 #define MORPH_COMMON_RUN_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "common/annotations.hh"
 #include "common/mutex.hh"
+#include "common/prof.hh"
 
 namespace morph
 {
@@ -98,12 +101,34 @@ class RunPool
                  const std::function<void(std::size_t)> &fn)
         MORPH_EXCLUDES(lock_);
 
+    /**
+     * Per-worker telemetry snapshot (tasks run, steals, failed steal
+     * scans, idle wall time). Counters are relaxed atomics — tasks,
+     * steals and steal-fails count always; idle time accrues only
+     * while morphprof is enabled (a clock read per sleep is not free).
+     * Snapshot between sessions for exact sums; the pool also
+     * publishes this through morphprof's pool registration, so every
+     * profile report carries it.
+     */
+    std::vector<ProfWorkerStats> telemetry() const;
+
   private:
     /** One worker's task deque (own front = pop, sibling back = steal). */
     struct Shard
     {
         Mutex lock;
-        std::deque<std::size_t> tasks MORPH_GUARDED_BY(lock);
+        std::deque<std::size_t> taskQueue MORPH_GUARDED_BY(lock);
+    };
+
+    /** One worker's telemetry counters (relaxed atomics: each is
+     *  written by its owning worker and read by snapshots; no
+     *  ordering is implied between counters). */
+    struct WorkerCounters
+    {
+        std::atomic<std::uint64_t> tasks{0};
+        std::atomic<std::uint64_t> steals{0};
+        std::atomic<std::uint64_t> stealFails{0};
+        std::atomic<std::uint64_t> idleNs{0};
     };
 
     void workerLoop(unsigned id) MORPH_EXCLUDES(lock_);
@@ -115,7 +140,11 @@ class RunPool
         MORPH_REQUIRES(lock_);
 
     std::vector<std::unique_ptr<Shard>> shards_;
+    // unique_ptr: a vector of atomics is not movable, and the heap
+    // slot gives each worker's counters a stable address for life.
+    std::vector<std::unique_ptr<WorkerCounters>> counters_;
     std::vector<std::thread> workers_;
+    std::size_t profToken_ = 0; ///< morphprof pool registration
 
     Mutex lock_; ///< guards the session state below
     std::condition_variable_any wake_; ///< workers: a session started
@@ -150,6 +179,13 @@ class SweepEngine
 
     unsigned jobs() const { return pool_.threads(); }
     RunPool &pool() { return pool_; }
+
+    /**
+     * One-line worker utilization summary from the pool's telemetry
+     * ("jobs 4: 128 tasks (min 28/max 36 per worker), 12 steals, ...")
+     * for driver stderr reporting. Call between map() sessions.
+     */
+    std::string utilization() const;
 
     /** Run fn(i) for i in [0, count) and return results in index
      *  order. Result must be default-constructible. */

@@ -84,7 +84,8 @@ snapshotFixed(const Histogram &h)
     snap.p99 = h.percentile(0.99);
     for (unsigned i = 0; i < h.size(); ++i)
         if (h.bucket(i))
-            snap.buckets.emplace_back(h.bucketLo(i), h.bucket(i));
+            snap.buckets.push_back(
+                {h.bucketLo(i), h.bucketHi(i), h.bucket(i)});
     return snap;
 }
 
@@ -99,8 +100,9 @@ snapshotExp(const ExpHistogram &h)
     snap.p99 = h.percentile(0.99);
     for (unsigned i = 0; i < h.size(); ++i)
         if (h.bucket(i))
-            snap.buckets.emplace_back(double(h.bucketLo(i)),
-                                      h.bucket(i));
+            snap.buckets.push_back({double(h.bucketLo(i)),
+                                    double(h.bucketHi(i)),
+                                    h.bucket(i)});
     return snap;
 }
 
@@ -346,8 +348,9 @@ writeStatsJson(std::ostream &os, const StatRegistry &registry,
         for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
             if (b)
                 os << ", ";
-            os << "{\"lo\": " << jsonNumber(snap.buckets[b].first)
-               << ", \"count\": " << snap.buckets[b].second << "}";
+            os << "{\"lo\": " << jsonNumber(snap.buckets[b].lo)
+               << ", \"hi\": " << jsonNumber(snap.buckets[b].hi)
+               << ", \"count\": " << snap.buckets[b].count << "}";
         }
         os << "]}";
     }

@@ -51,13 +51,23 @@ enum class StatKind : std::uint8_t
 /** Uniform read-only view of one histogram's current contents. */
 struct HistogramSnapshot
 {
+    /** One non-empty bucket with both edges, so exporters and
+     *  external tools can re-derive the distribution without knowing
+     *  the source histogram's bucketing scheme. */
+    struct Bucket
+    {
+        double lo = 0.0;          ///< lower edge (inclusive)
+        double hi = 0.0;          ///< upper edge (exclusive)
+        std::uint64_t count = 0;  ///< recorded weight
+    };
+
     std::uint64_t count = 0;
     double mean = 0.0;
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
-    /** (bucket lower edge, weight) for every non-empty bucket. */
-    std::vector<std::pair<double, std::uint64_t>> buckets;
+    /** Every non-empty bucket, in ascending edge order. */
+    std::vector<Bucket> buckets;
 };
 
 /** The morphscope stat registry. */

@@ -39,6 +39,12 @@ Histogram::bucketLo(unsigned i) const
 }
 
 double
+Histogram::bucketHi(unsigned i) const
+{
+    return bucketLo(i + 1);
+}
+
+double
 Histogram::mean() const
 {
     return count_ ? sum_ / double(count_) : 0.0;

@@ -47,6 +47,9 @@ class Histogram
     /** Lower edge of bucket @p i. */
     double bucketLo(unsigned i) const;
 
+    /** Upper edge of bucket @p i (== bucketLo(i + 1)). */
+    double bucketHi(unsigned i) const;
+
     /** Mean of recorded samples. */
     double mean() const;
 

@@ -28,6 +28,18 @@ TraceLog::complete(const char *name, const char *cat,
 }
 
 void
+TraceLog::completeOwned(const std::string &name, const char *cat,
+                        std::uint32_t tid, std::uint64_t ts,
+                        std::uint64_t dur)
+{
+    if (!roomFor())
+        return;
+    ownedNames_.push_back(name);
+    events_.push_back(
+        {ownedNames_.back().c_str(), cat, ts, dur, noLine, tid, 'X'});
+}
+
+void
 TraceLog::instant(const char *name, const char *cat, std::uint32_t tid,
                   std::uint64_t ts)
 {
@@ -57,7 +69,14 @@ TraceLog::size() const
 void
 TraceLog::write(std::ostream &os) const
 {
-    os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+    // "morph" is a foreign top-level key; Chrome/Perfetto ignore keys
+    // they don't know, and it makes event loss visible in the
+    // document itself (dropped_events > 0 means the cap was hit and
+    // the tail of the run is missing from the timeline).
+    os << "{\"displayTimeUnit\": \"ns\", \"morph\": {\"max_events\": "
+       << maxEvents_ << ", \"events\": " << events_.size()
+       << ", \"dropped_events\": " << dropped_
+       << "}, \"traceEvents\": [";
     bool first = true;
     for (const auto &kv : trackNames_) {
         if (!first)

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/check.hh"
+#include "common/prof.hh"
 
 namespace morph
 {
@@ -11,6 +12,7 @@ std::uint64_t
 MacEngine::compute(LineAddr line, std::uint64_t counter,
                    const CachelineData &payload, unsigned tag_bits) const
 {
+    MORPH_PROF_SCOPE("crypto.mac");
     MORPH_CHECK(tag_bits >= 1 && tag_bits <= 64);
 
     // Serialize (line || counter || payload) and PRF the buffer.

@@ -1,6 +1,7 @@
 #include "dram/dram_system.hh"
 
 #include "common/check.hh"
+#include "common/prof.hh"
 #include "common/stat_registry.hh"
 
 namespace morph
@@ -17,6 +18,7 @@ Cycle
 DramSystem::access(LineAddr line, AccessType type, Cycle when,
                    DramAccessTiming *timing)
 {
+    MORPH_PROF_SCOPE("dram.access");
     const DramCoord coord = decodeLine(config_, line);
     if (timing)
         timing->channel = coord.channel;

@@ -3,6 +3,7 @@
 
 #include "common/check.hh"
 #include "common/log.hh"
+#include "common/prof.hh"
 
 namespace morph
 {
@@ -82,6 +83,9 @@ IntegrityTree::propagateMutation(unsigned level, std::uint64_t index,
         return; // root updates are on-chip register writes
     }
 
+    // Recursion nests one tree.propagate per level climbed.
+    MORPH_PROF_SCOPE("tree.propagate");
+
     const unsigned parent_level = level + 1;
     const std::uint64_t pidx = geom_.parentIndex(parent_level, index);
     const unsigned slot = geom_.childSlot(parent_level, index);
@@ -128,6 +132,7 @@ IntegrityTree::counterOf(LineAddr data_line)
 IntegrityTree::BumpResult
 IntegrityTree::bumpCounter(LineAddr data_line)
 {
+    MORPH_PROF_SCOPE("tree.bump");
     MORPH_CHECK_LT(data_line, geom_.dataLines());
     const std::uint64_t idx = geom_.parentIndex(0, data_line);
     const unsigned slot = geom_.childSlot(0, data_line);
@@ -158,6 +163,7 @@ IntegrityTree::bumpCounter(LineAddr data_line)
 bool
 IntegrityTree::verify(LineAddr data_line)
 {
+    MORPH_PROF_SCOPE("tree.verify");
     MORPH_CHECK_LT(data_line, geom_.dataLines());
     std::uint64_t index = geom_.parentIndex(0, data_line);
     for (unsigned level = 0; level < geom_.rootLevel(); ++level) {

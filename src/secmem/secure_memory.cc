@@ -4,6 +4,7 @@
 
 #include "common/check.hh"
 #include "common/log.hh"
+#include "common/prof.hh"
 
 namespace morph
 {
@@ -149,6 +150,7 @@ SecureMemory::materialize(LineAddr line)
 void
 SecureMemory::writeLine(LineAddr line, const CachelineData &plaintext)
 {
+    MORPH_PROF_SCOPE("secmem.write_line");
     MORPH_CHECK_LT(line, geometry().dataLines());
     ++stats_.writes;
 
@@ -200,6 +202,7 @@ SecureMemory::writeLine(LineAddr line, const CachelineData &plaintext)
 std::optional<CachelineData>
 SecureMemory::readLine(LineAddr line, Verdict &verdict)
 {
+    MORPH_PROF_SCOPE("secmem.read_line");
     MORPH_CHECK_LT(line, geometry().dataLines());
     ++stats_.reads;
 

@@ -2,6 +2,7 @@
 
 
 #include "common/check.hh"
+#include "common/prof.hh"
 #include "common/stat_registry.hh"
 
 namespace morph
@@ -81,6 +82,9 @@ SecureMemoryModel::ensureCached(unsigned level, std::uint64_t index,
     if (level == geom_.rootLevel())
         return; // root registers live on-chip
 
+    // Recursion shows up as nested secmem.tree_walk chains in a
+    // profile: depth == levels actually walked past the cache.
+    MORPH_PROF_SCOPE("secmem.tree_walk");
     const LineAddr line = geom_.lineOfEntry(level, index);
     if (mdcache_.access(line))
         return; // found securely cached: traversal terminates
@@ -167,6 +171,7 @@ SecureMemoryModel::bumpEntryCounter(unsigned level,
     if (level > geom_.rootLevel())
         return;
 
+    MORPH_PROF_SCOPE("secmem.ctr_bump");
     const std::uint64_t index = geom_.parentIndex(level, child_index);
     const unsigned slot = geom_.childSlot(level, child_index);
 
@@ -204,6 +209,7 @@ SecureMemoryModel::emitOverflowTraffic(unsigned level,
                                        unsigned begin, unsigned end,
                                        std::vector<MemAccess> &out)
 {
+    MORPH_PROF_SCOPE("secmem.overflow");
     const unsigned arity = geom_.levels()[level].arity;
     const std::uint64_t child_base = entry_index * arity;
 
@@ -237,6 +243,7 @@ void
 SecureMemoryModel::onDataAccess(LineAddr data_line, AccessType type,
                                 std::vector<MemAccess> &out)
 {
+    MORPH_PROF_SCOPE("secmem.data_access");
     MORPH_CHECK_LT(data_line, geom_.dataLines());
     const bool is_write = type == AccessType::Write;
 

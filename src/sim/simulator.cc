@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/log.hh"
+#include "common/prof.hh"
 #include "workloads/trace_file.hh"
 
 namespace morph
@@ -52,26 +53,32 @@ runTraces(const std::string &name,
     SimSystem system(config, std::move(traces));
     system.attachScope(scope);
 
-    if (options.warmupPerCore > 0)
+    if (options.warmupPerCore > 0) {
+        MORPH_PROF_SCOPE("sim.warmup");
         system.run(options.warmupPerCore);
+    }
     system.startMeasurement();
 
-    const std::uint64_t epoch =
-        scope ? scope->config().epochAccesses : 0;
-    if (epoch > 0) {
-        // Epoch-sampled measurement: run in epoch-sized chunks and
-        // record counter deltas after each, so per-epoch deltas sum
-        // exactly to the run totals (the final chunk may be short).
-        scope->epochs().baseline(scope->registry());
-        std::uint64_t remaining = options.accessesPerCore;
-        while (remaining > 0) {
-            const std::uint64_t chunk = std::min(epoch, remaining);
-            system.run(chunk);
-            scope->epochs().sample(scope->registry(), chunk);
-            remaining -= chunk;
+    {
+        MORPH_PROF_SCOPE("sim.measure");
+        const std::uint64_t epoch =
+            scope ? scope->config().epochAccesses : 0;
+        if (epoch > 0) {
+            // Epoch-sampled measurement: run in epoch-sized chunks
+            // and record counter deltas after each, so per-epoch
+            // deltas sum exactly to the run totals (the final chunk
+            // may be short).
+            scope->epochs().baseline(scope->registry());
+            std::uint64_t remaining = options.accessesPerCore;
+            while (remaining > 0) {
+                const std::uint64_t chunk = std::min(epoch, remaining);
+                system.run(chunk);
+                scope->epochs().sample(scope->registry(), chunk);
+                remaining -= chunk;
+            }
+        } else {
+            system.run(options.accessesPerCore);
         }
-    } else {
-        system.run(options.accessesPerCore);
     }
 
     SimResult result;

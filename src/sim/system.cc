@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/log.hh"
+#include "common/prof.hh"
 
 namespace morph
 {
@@ -25,6 +26,7 @@ SimSystem::SimSystem(const SystemConfig &config,
 void
 SimSystem::step(Core &core)
 {
+    MORPH_PROF_SCOPE("sim.step");
     const TraceEntry entry = core.beginEntry();
 
     scratch_.clear();
@@ -99,6 +101,7 @@ SimSystem::traceEntryDone(const Core &core, const TraceEntry &entry,
 void
 SimSystem::run(std::uint64_t accesses_per_core)
 {
+    MORPH_PROF_SCOPE("sim.run");
     std::vector<std::uint64_t> targets(cores_.size());
     for (std::size_t i = 0; i < cores_.size(); ++i)
         targets[i] = cores_[i].accesses() + accesses_per_core;
@@ -203,6 +206,13 @@ SimSystem::attachScope(MorphScope *scope)
         for (unsigned ch = 0; ch < dram_.config().channels; ++ch)
             trace.nameTrack(channelTidBase + ch,
                             "dram.ch" + std::to_string(ch));
+        // Registered only for tracing runs so non-traced stat output
+        // (bench baselines, byte-identity legs) is untouched.
+        const TraceLog *tracePtr = &trace;
+        reg.counter(
+            "trace.dropped_events",
+            [tracePtr]() { return double(tracePtr->dropped()); },
+            "trace events discarded after the event cap was hit");
     }
 }
 

@@ -85,8 +85,12 @@ TEST(StatRegistry, HistogramSnapshots)
     EXPECT_LE(snap.p95, snap.p99);
     EXPECT_FALSE(snap.buckets.empty());
     std::uint64_t bucket_total = 0;
-    for (const auto &bucket : snap.buckets)
-        bucket_total += bucket.second;
+    for (const auto &bucket : snap.buckets) {
+        // Full bounds: distributions must be re-derivable from the
+        // snapshot alone.
+        EXPECT_LT(bucket.lo, bucket.hi);
+        bucket_total += bucket.count;
+    }
     EXPECT_EQ(bucket_total, 64u);
 }
 

@@ -52,6 +52,7 @@
 
 #include "common/json.hh"
 #include "common/mutex.hh"
+#include "common/prof.hh"
 #include "common/run_pool.hh"
 #include "kernels.hh"
 #include "sim/simulator.hh"
@@ -126,8 +127,11 @@ runMatrix(bool quick, const std::string &out_path,
     Mutex progress_lock;
     std::size_t started = 0;
     SweepEngine engine(jobs);
-    const std::vector<std::string> cells =
-        engine.map<std::string>(count, [&](std::size_t i) {
+    std::vector<std::string> cells;
+    {
+        MORPH_PROF_SCOPE("bench.matrix");
+        cells = engine.map<std::string>(count, [&](std::size_t i) {
+            MORPH_PROF_SCOPE("bench.cell");
             const BenchCase &c = cases[i];
             {
                 LockGuard guard(progress_lock);
@@ -158,6 +162,10 @@ runMatrix(bool quick, const std::string &out_path,
                  << jsonNumber(r.metadataCache.hitRate()) << "}";
             return cell.str();
         });
+    }
+    if (profEnabled())
+        std::fprintf(stderr, "morphbench: matrix %s\n",
+                     engine.utilization().c_str());
 
     std::ostringstream os;
     os << "{\n  \"schema\": \"morphbench-v1\",\n  \"rev\": \""
@@ -176,6 +184,7 @@ runMatrix(bool quick, const std::string &out_path,
                      "morphbench: measuring %s kernels (%.0f ms"
                      " each)\n",
                      "hot-path", kernel_seconds * 1000.0);
+        MORPH_PROF_SCOPE("bench.kernels");
         const auto rates = kernels::measureAll(kernel_seconds);
         os << ",\n  \"kernels\": [";
         for (std::size_t i = 0; i < rates.size(); ++i) {
@@ -432,7 +441,35 @@ usage()
         "  --tolerance F       max relative drift for sim cells\n"
         "                      (default 0.05)\n"
         "  --kernel-min-ratio F  fail a kernel below F x baseline\n"
-        "                      (default: baseline's kernel_gate)\n");
+        "                      (default: baseline's kernel_gate)\n"
+        "  --prof-out FILE     write a morphprof self-profile (JSON,\n"
+        "                      FILE.collapsed, FILE.speedscope.json);\n"
+        "                      MORPH_PROF=1 for a stderr summary\n");
+}
+
+/** Finalize self-profiling (see morphsim's twin): report, stamp
+ *  metadata, export, summarize. Returns false on export I/O failure. */
+bool
+finishProfile(const std::string &prof_out, bool prof_stderr,
+              bool quick)
+{
+    ProfReport report = profReport();
+    report.meta.set("tool", "morphbench");
+    report.meta.set("matrix", quick ? "quick" : "full");
+    if (!prof_out.empty()) {
+        std::string failed;
+        if (!profWriteFiles(report, prof_out, failed)) {
+            std::fprintf(stderr, "morphbench: cannot write %s\n",
+                         failed.c_str());
+            return false;
+        }
+    }
+    if (prof_stderr) {
+        std::ostringstream text;
+        report.dumpText(text);
+        std::fputs(text.str().c_str(), stderr);
+    }
+    return true;
 }
 
 } // namespace
@@ -449,6 +486,7 @@ main(int argc, char **argv)
     double kernel_min_ratio = -1.0; // negative: use baseline's gate
     bool with_kernels = false;
     double kernel_seconds = 0.2;
+    std::string prof_out_path;
     std::uint64_t accesses = 20'000;
     std::uint64_t warmup = 5'000;
     unsigned jobs = RunPool::hardwareJobs();
@@ -500,6 +538,8 @@ main(int argc, char **argv)
             tolerance = std::atof(value());
         } else if (arg == "--kernel-min-ratio") {
             kernel_min_ratio = std::atof(value());
+        } else if (arg == "--prof-out") {
+            prof_out_path = value();
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -515,8 +555,17 @@ main(int argc, char **argv)
         return compare(compare_base, compare_new, tolerance,
                        kernel_min_ratio);
 
+    bool prof_stderr = false;
+    profApplyEnv(prof_out_path, prof_stderr);
+    const bool profiling = !prof_out_path.empty() || prof_stderr;
+    if (profiling)
+        profEnable();
+
     if (out_path.empty())
         out_path = "BENCH_" + rev + ".json";
-    return runMatrix(quick, out_path, rev, accesses, warmup, jobs,
-                     with_kernels, kernel_seconds);
+    const int code = runMatrix(quick, out_path, rev, accesses, warmup,
+                               jobs, with_kernels, kernel_seconds);
+    if (profiling && !finishProfile(prof_out_path, prof_stderr, quick))
+        return code == 0 ? 4 : code;
+    return code;
 }

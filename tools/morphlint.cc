@@ -29,6 +29,12 @@
  *      and be unique (the naming contract the JSON/CSV exporters and
  *      morphbench depend on), re-validated here independently of the
  *      registry's own registration check.
+ *   7. Runtime prof scope names — every MORPH_PROF_SCOPE site the
+ *      instrumented hot path registers (morphprof, common/prof.hh)
+ *      must satisfy the same [a-z0-9_.]+ contract and be unique; the
+ *      sites are enumerated by actually executing a miniature
+ *      simulation, a pool task and the crypto/tree kernels, so a
+ *      scope added anywhere on the hot path is covered automatically.
  *
  * INI files may also carry [lint.zcc] / [lint.geometry] sections that
  * *override* the expected values; this is how the test suite feeds
@@ -49,7 +55,12 @@
 
 #include "common/bitfield.hh"
 #include "common/ini.hh"
+#include "common/prof.hh"
+#include "common/run_pool.hh"
 #include "common/types.hh"
+#include "crypto/mac.hh"
+#include "crypto/otp.hh"
+#include "integrity/integrity_tree.hh"
 #include "counters/counter_factory.hh"
 #include "counters/mcr_codec.hh"
 #include "counters/split_counter.hh"
@@ -532,6 +543,83 @@ checkStatNames(Lint &lint, const std::string &where,
 }
 
 // ---------------------------------------------------------------------
+// 7. Runtime prof scope-name contract
+// ---------------------------------------------------------------------
+
+/**
+ * Every profiler scope name the instrumented binary registers. A
+ * MORPH_PROF_SCOPE site constructs its static ProfSite on the first
+ * pass through the line (enabled or not), so the enumeration must
+ * *execute* the instrumented paths, not merely construct objects:
+ * a miniature simulation covers the sim/secmem/dram scopes, a
+ * two-worker pool session covers pool.task, and direct calls cover
+ * the crypto engines and the integrity-tree kernels.
+ */
+/** Execute the crypto and integrity-tree kernels once so their scope
+ *  sites register. All-zero keys, and every pad/tag output is
+ *  discarded on the spot: nothing secret flows into the caller. */
+void
+touchKernelProfSites()
+{
+    const SipKey sip_key = {};
+    const Aes128::Key aes_key = {};
+    OtpEngine otp(aes_key);
+    (void)otp.pad(LineAddr{0}, 1);
+    MacEngine mac(sip_key);
+    CachelineData payload = {};
+    (void)mac.compute(LineAddr{0}, 1, payload);
+    IntegrityTree tree(1ull << 24, TreeConfig::morph(), sip_key);
+    (void)tree.bumpCounter(LineAddr{0});
+    (void)tree.verify(LineAddr{0});
+}
+
+const std::vector<std::string> &
+runtimeProfNames()
+{
+    static const std::vector<std::string> names = [] {
+        {
+            SystemConfig config;
+            config.secmem.tree = TreeConfig::morph();
+            const WorkloadSpec *spec = findWorkload("mcf");
+            std::vector<std::unique_ptr<TraceSource>> traces;
+            for (unsigned core = 0; core < config.numCores; ++core)
+                traces.push_back(makeWorkloadTrace(
+                    *spec, core, config.numCores,
+                    config.secmem.memBytes, 1, 1.0));
+            SimSystem system(config, std::move(traces));
+            system.run(64);
+        }
+        {
+            RunPool pool(2);
+            pool.forEach(4, [](std::size_t) {});
+        }
+        touchKernelProfSites();
+        return profSiteNames();
+    }();
+    return names;
+}
+
+void
+checkProfNames(Lint &lint, const std::string &where,
+               std::vector<std::string> names)
+{
+    lint.expectTrue(where, "hot path registers at least one scope",
+                    !names.empty());
+    for (const std::string &name : names) {
+        lint.expectTrue(where,
+                        "prof scope '" + name +
+                            "' matches [a-z0-9_.]+",
+                        lintStatNameOk(name));
+    }
+    std::sort(names.begin(), names.end());
+    for (std::size_t i = 1; i < names.size(); ++i) {
+        if (names[i] == names[i - 1])
+            lint.fail(where, "prof scope '" + names[i] +
+                                 "' registered more than once");
+    }
+}
+
+// ---------------------------------------------------------------------
 // 5. INI validation (simulator configs + lint spec overrides)
 // ---------------------------------------------------------------------
 
@@ -592,7 +680,7 @@ checkIniFile(Lint &lint, const std::string &path)
         "lint.geometry.metadata_mb", "lint.mcr.major_bits",
         "lint.mcr.base_bits", "lint.mcr.minor_bits", "lint.sc.arity",
         "lint.sc.minor_bits", "lint.morph.otp_counter_bits",
-        "lint.stats.extra_name",
+        "lint.stats.extra_name", "lint.prof.extra_scope",
     };
     for (const std::string &key : ini.keys()) {
         bool ok = false;
@@ -724,6 +812,15 @@ checkIniFile(Lint &lint, const std::string &path)
         checkStatNames(lint, where + "/stats", std::move(names));
     }
 
+    // Prof-scope spec: an extra profiler scope the configuration
+    // claims to register; same contract as stat names, and it must
+    // not collide with a scope the hot path already registers.
+    if (ini.has("lint.prof.extra_scope")) {
+        std::vector<std::string> names = runtimeProfNames();
+        names.push_back(ini.getString("lint.prof.extra_scope"));
+        checkProfNames(lint, where + "/prof", std::move(names));
+    }
+
     if (ini.has("lint.geometry.config") ||
         ini.has("lint.geometry.tree_levels") ||
         ini.has("lint.geometry.metadata_mb")) {
@@ -816,6 +913,7 @@ main(int argc, char **argv)
     checkLayoutProbes(lint);
     checkAllGeometries(lint, mem_gb << 30);
     checkStatNames(lint, "stat-names", runtimeStatNames());
+    checkProfNames(lint, "prof-scopes", runtimeProfNames());
     for (const std::string &path : configs)
         checkIniFile(lint, path);
 

@@ -42,6 +42,7 @@
 
 #include "common/ini.hh"
 #include "common/log.hh"
+#include "common/prof.hh"
 #include "common/run_pool.hh"
 #include "sim/simulator.hh"
 
@@ -85,6 +86,9 @@ usage()
         "                      request lifecycles\n"
         "  --trace-sample N    trace 1-in-N data accesses\n"
         "                      (default 64; 1 = every access)\n"
+        "  --prof-out FILE     write a morphprof self-profile (JSON,\n"
+        "                      FILE.collapsed, FILE.speedscope.json);\n"
+        "                      MORPH_PROF=1 for a stderr summary\n"
         "  --sweep LIST        run the workload against a comma-\n"
         "                      separated config list (or 'all') as\n"
         "                      independent parallel runs\n"
@@ -311,6 +315,7 @@ runSweep(const std::vector<std::string> &configs,
     SweepEngine engine(jobs);
     std::vector<SweepRun> runs;
     try {
+        MORPH_PROF_SCOPE("morphsim.sweep");
         runs = engine.map<SweepRun>(
             configs.size(), [&](std::size_t i) {
                 const std::string &name = configs[i];
@@ -353,6 +358,9 @@ runSweep(const std::vector<std::string> &configs,
         std::fprintf(stderr, "morphsim: sweep failed: %s\n", e.what());
         return exitRuntime;
     }
+    if (profEnabled())
+        std::fprintf(stderr, "morphsim: sweep %s\n",
+                     engine.utilization().c_str());
 
     for (const SweepRun &run : runs)
         std::fputs(run.report.c_str(), stdout);
@@ -365,6 +373,39 @@ runSweep(const std::vector<std::string> &configs,
         }
     }
     return 0;
+}
+
+/**
+ * Finalize self-profiling: merge and freeze the profile, stamp run
+ * metadata, optionally merge it into the Chrome trace (before the
+ * driver writes it), export the --prof-out file set and print the
+ * stderr summary. Returns false on an export I/O failure.
+ */
+bool
+finishProfile(const std::string &prof_out, bool prof_stderr,
+              const std::string &workload_key,
+              const std::string &config_name, TraceLog *trace)
+{
+    ProfReport report = profReport();
+    report.meta.set("tool", "morphsim");
+    report.meta.set("workload", workload_key);
+    report.meta.set("config", config_name);
+    if (trace != nullptr)
+        report.mergeIntoTrace(*trace);
+    if (!prof_out.empty()) {
+        std::string failed;
+        if (!profWriteFiles(report, prof_out, failed)) {
+            std::fprintf(stderr, "morphsim: cannot write %s\n",
+                         failed.c_str());
+            return false;
+        }
+    }
+    if (prof_stderr) {
+        std::ostringstream text;
+        report.dumpText(text);
+        std::fputs(text.str().c_str(), stderr);
+    }
+    return true;
 }
 
 } // namespace
@@ -383,6 +424,7 @@ main(int argc, char **argv)
     ScopeConfig scope_config;
     std::uint64_t trace_sample = 64;
     std::string sweep_list;
+    std::string prof_out_path;
     unsigned jobs = 0; // 0 = RunPool::hardwareJobs()
 
     for (int i = 1; i < argc; ++i) {
@@ -439,6 +481,8 @@ main(int argc, char **argv)
             trace_sample = parseCount(arg, value());
             if (trace_sample == 0)
                 badFlag("option %s needs a value >= 1", arg.c_str());
+        } else if (arg == "--prof-out") {
+            prof_out_path = value();
         } else if (arg == "--sweep") {
             sweep_list = value();
         } else if (arg == "--jobs") {
@@ -485,17 +529,32 @@ main(int argc, char **argv)
     if (!trace_out_path.empty())
         scope_config.traceSampleEvery = trace_sample;
 
+    bool prof_stderr = false;
+    profApplyEnv(prof_out_path, prof_stderr);
+    const bool profiling = !prof_out_path.empty() || prof_stderr;
+    if (profiling)
+        profEnable();
+    const std::string workload_key =
+        trace_path.empty() ? workload : trace_path;
+
     if (!sweep_list.empty()) {
         if (!trace_out_path.empty())
             badFlag("%s is not supported with --sweep", "--trace-out");
-        return runSweep(sweepConfigs(sweep_list), workload, trace_path,
-                        secmem, options, scope_config,
-                        stats_json_path, stats_csv_path, jobs);
+        const int code =
+            runSweep(sweepConfigs(sweep_list), workload, trace_path,
+                     secmem, options, scope_config, stats_json_path,
+                     stats_csv_path, jobs);
+        if (profiling &&
+            !finishProfile(prof_out_path, prof_stderr, workload_key,
+                           sweep_list, nullptr))
+            return code == 0 ? exitRuntime : code;
+        return code;
     }
 
     MorphScope scope(scope_config);
     SimResult result;
     try {
+        MORPH_PROF_SCOPE("morphsim.run");
         result = trace_path.empty()
                      ? runByName(workload, secmem, options, &scope)
                      : runTraceFile(trace_path, secmem, options,
@@ -523,6 +582,12 @@ main(int argc, char **argv)
                      stats_csv_path.c_str());
         return exitRuntime;
     }
+    if (profiling &&
+        !finishProfile(prof_out_path, prof_stderr, workload_key,
+                       config_name,
+                       trace_out_path.empty() ? nullptr
+                                              : &scope.trace()))
+        return exitRuntime;
     if (!trace_out_path.empty()) {
         if (!scope.writeTrace(trace_out_path)) {
             std::fprintf(stderr, "morphsim: cannot write %s\n",

@@ -56,11 +56,13 @@
 #include <cstring>
 #include <deque>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "common/bitfield.hh"
+#include "common/prof.hh"
 #include "common/run_pool.hh"
 #include "common/types.hh"
 #include "counters/counter_factory.hh"
@@ -580,6 +582,9 @@ usage()
         "                  status are independent of N\n"
         "  --quiet         suppress per-model summaries\n"
         "  --list          print model names and exit\n"
+        "  --prof-out FILE write a morphprof self-profile (JSON,\n"
+        "                  FILE.collapsed, FILE.speedscope.json);\n"
+        "                  MORPH_PROF=1 for a stderr summary\n"
         "Exhaustively explores the counter-format transition relation\n"
         "from deterministic seeds and checks monotonicity,\n"
         "accountability, canonical encoding, and the ZCC width\n"
@@ -589,6 +594,7 @@ usage()
 ModelReport
 runModel(const TransitionModel &model, std::uint64_t budget, bool quiet)
 {
+    MORPH_PROF_SCOPE("verify.model");
     Verifier verifier(model, budget, quiet);
     verifier.run();
     return verifier.takeReport();
@@ -604,6 +610,7 @@ main(int argc, char **argv)
     std::uint64_t budget = 200000;
     unsigned jobs = 0; // 0 = RunPool::hardwareJobs()
     bool quiet = false;
+    std::string prof_out;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -622,6 +629,8 @@ main(int argc, char **argv)
                 return 2;
             }
             jobs = unsigned(v);
+        } else if (arg == "--prof-out" && i + 1 < argc) {
+            prof_out = argv[++i];
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--list") {
@@ -668,19 +677,47 @@ main(int argc, char **argv)
         models.push_back(std::move(model));
     }
 
+    bool prof_stderr = false;
+    profApplyEnv(prof_out, prof_stderr);
+    const bool profiling = !prof_out.empty() || prof_stderr;
+    if (profiling)
+        profEnable();
+
     // One shard per model: each keeps its whole BFS (visited set,
     // frontier, budget), so results match the serial run exactly.
     // Reports flush in command-line order below.
-    SweepEngine engine(jobs);
-    const std::vector<ModelReport> reports = engine.map<ModelReport>(
-        models.size(),
-        [&](std::size_t i) { return runModel(*models[i], budget, quiet); });
+    std::vector<ModelReport> reports;
+    {
+        SweepEngine engine(jobs);
+        MORPH_PROF_SCOPE("verify.sweep");
+        reports = engine.map<ModelReport>(models.size(), [&](std::size_t i) {
+            return runModel(*models[i], budget, quiet);
+        });
+    }
 
     int status = 0;
     for (const ModelReport &report : reports) {
         std::fputs(report.violations.c_str(), stderr);
         std::fputs(report.summary.c_str(), stdout);
         status |= report.status;
+    }
+
+    if (profiling) {
+        ProfReport profile = profReport();
+        profile.meta.set("tool", "morphverify");
+        if (!prof_out.empty()) {
+            std::string failed;
+            if (!profWriteFiles(profile, prof_out, failed)) {
+                std::fprintf(stderr, "morphverify: cannot write %s\n",
+                             failed.c_str());
+                return 2;
+            }
+        }
+        if (prof_stderr) {
+            std::ostringstream text;
+            profile.dumpText(text);
+            std::fputs(text.str().c_str(), stderr);
+        }
     }
     return status;
 }
