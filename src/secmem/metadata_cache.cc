@@ -20,6 +20,17 @@ MetadataCache::levelOccupancy() const
     return occupancy;
 }
 
+std::uint64_t
+MetadataCache::dirtyLineCount() const
+{
+    std::uint64_t dirty = 0;
+    cache_.forEach([&](LineAddr, bool is_dirty) {
+        if (is_dirty)
+            ++dirty;
+    });
+    return dirty;
+}
+
 void
 MetadataCache::registerStats(StatRegistry &registry,
                              const std::string &prefix,
@@ -36,6 +47,10 @@ MetadataCache::registerStats(StatRegistry &registry,
     registry.gauge(
         prefix + ".hit_rate", [&s]() { return s.hitRate(); },
         "hits / (hits + misses)");
+    registry.gauge(
+        prefix + ".dirty_lines",
+        [this]() { return double(dirtyLineCount()); },
+        "resident dirty lines (unflushed at sample time)");
     if (!occupancy)
         return;
     const std::size_t levels = geom_->levels().size();

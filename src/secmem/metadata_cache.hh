@@ -83,6 +83,15 @@ class MetadataCache
      */
     std::vector<std::uint64_t> levelOccupancy() const;
 
+    /**
+     * Resident lines currently dirty — mutations that never left the
+     * chip. Reported as the end-of-run "<prefix>.dirty_lines" gauge so
+     * dirty_evictions plus this accounts for every dirty line; the
+     * persist domain's final barrier drains the same set into the
+     * durable image. Linear in cache size — reporting only.
+     */
+    std::uint64_t dirtyLineCount() const;
+
   private:
     Cache cache_;
     const TreeGeometry *geom_;

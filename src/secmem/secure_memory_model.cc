@@ -22,6 +22,9 @@ SecureMemoryModel::SecureMemoryModel(const SecureModelConfig &config)
     // Separate-MAC mode: one 64-bit MAC per data line, 8 per MAC line,
     // in a slab above all other metadata.
     macBaseLine_ = geom_.totalBytes() / lineBytes;
+
+    if (config_.persist.enabled)
+        persist_ = std::make_unique<PersistDomain>(config_.persist);
 }
 
 SecureMemoryModel::~SecureMemoryModel() = default;
@@ -31,6 +34,15 @@ SecureMemoryModel::resetStats()
 {
     stats_.reset();
     mdcache_.resetStats();
+    if (persist_)
+        persist_->resetStats();
+}
+
+void
+SecureMemoryModel::finishRun()
+{
+    if (persist_)
+        persist_->finish();
 }
 
 void
@@ -41,6 +53,8 @@ SecureMemoryModel::registerStats(StatRegistry &registry,
     const std::string scope = prefix.empty() ? "" : prefix + ".";
     stats_.registerStats(registry, scope + "traffic");
     mdcache_.registerStats(registry, scope + "mdcache", occupancy);
+    if (persist_)
+        persist_->stats().registerStats(registry, scope + "persist");
 }
 
 CachelineData &
@@ -152,6 +166,12 @@ SecureMemoryModel::handleDirtyWriteback(unsigned level,
                    trafficForLevel(level), false});
     stats_.count(trafficForLevel(level), true);
 
+    // The line leaves the chip: under the lazy persist policy this is
+    // the moment NVM takes the new image, ahead of the root commit.
+    if (persist_)
+        persist_->onDirtyWriteback(level, geom_.lineOfEntry(level, index),
+                                   entryImage(level, index));
+
     if (level == geom_.rootLevel())
         return;
     bumpEntryCounter(level + 1, index, out);
@@ -181,6 +201,9 @@ SecureMemoryModel::bumpEntryCounter(unsigned level,
         formats_[level]->increment(entryImage(level, index), slot);
     if (level != geom_.rootLevel())
         mdcache_.markDirty(geom_.lineOfEntry(level, index));
+    if (persist_)
+        persist_->onEntryUpdate(level, geom_.lineOfEntry(level, index),
+                                entryImage(level, index));
 
     const unsigned bin = std::min<unsigned>(level, 7);
     if (res.rebase)
@@ -201,7 +224,9 @@ SecureMemoryModel::bumpEntryCounter(unsigned level,
  * Overflow reset at @p level: children [begin, end) of entry
  * @p entry_index changed protecting counters — each is read, updated
  * (re-encrypted for level 0 children, re-MACed for metadata children)
- * and written back.
+ * and written back. The children's counter images are unchanged (only
+ * data payloads / MACs refresh, which this model does not store), so
+ * these writes are persist-neutral: the durable copies stay valid.
  */
 void
 SecureMemoryModel::emitOverflowTraffic(unsigned level,
@@ -264,6 +289,9 @@ SecureMemoryModel::onDataAccess(LineAddr data_line, AccessType type,
         const WriteResult res =
             formats_[0]->increment(entryImage(0, index), slot);
         mdcache_.markDirty(geom_.lineOfEntry(0, index));
+        if (persist_)
+            persist_->onEntryUpdate(0, geom_.lineOfEntry(0, index),
+                                    entryImage(0, index));
         if (res.rebase)
             ++stats_.rebasesByLevel[0];
         if (res.formatSwitch)
@@ -288,6 +316,12 @@ SecureMemoryModel::onDataAccess(LineAddr data_line, AccessType type,
             insertMetadata(mac_line, is_write, out);
         }
     }
+
+    // Retired data write: advances the lazy policy's epoch clock
+    // (and may fire a barrier). Last so the barrier covers every
+    // metadata mutation this access generated.
+    if (persist_ && is_write)
+        persist_->onDataWrite();
 }
 
 } // namespace morph

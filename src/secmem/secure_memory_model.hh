@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "secmem/metadata_cache.hh"
+#include "secmem/persist_domain.hh"
 #include "secmem/traffic_stats.hh"
 
 namespace morph
@@ -84,6 +85,18 @@ struct SecureModelConfig
      * byte — insert at LRU so tree entries keep residency.
      */
     bool demoteEncCounters = false;
+
+    /**
+     * NVM persistence model (off by default). When enabled, a
+     * PersistDomain observes counter/tree mutations and dirty
+     * writebacks to track the durable metadata image — a pure
+     * observer, so every volatile statistic is bit-identical with
+     * persistence on or off. Separate-mode MAC images are not
+     * modelled and sit outside the domain; under the default Synergy
+     * in-line organization MACs ride in the data lines, which NVM
+     * makes durable with the data itself.
+     */
+    PersistConfig persist;
 };
 
 /** Trace-level secure memory controller model. */
@@ -120,6 +133,13 @@ class SecureMemoryModel
     /** Effective counter of @p data_line (model introspection). */
     std::uint64_t counterOf(LineAddr data_line);
 
+    /** End of run: drain the persist domain's pending mutations
+     *  through a final barrier (no-op without persistence). */
+    void finishRun();
+
+    /** The persistence model, or nullptr when disabled. */
+    const PersistDomain *persistDomain() const { return persist_.get(); }
+
   private:
     CachelineData &entryImage(unsigned level, std::uint64_t index);
     void ensureCached(unsigned level, std::uint64_t index,
@@ -141,6 +161,7 @@ class SecureMemoryModel
     TrafficStats stats_;
     std::vector<std::unique_ptr<CounterFormat>> formats_;
     std::vector<std::unordered_map<std::uint64_t, CachelineData>> store_;
+    std::unique_ptr<PersistDomain> persist_;
     LineAddr macBaseLine_ = 0;
 };
 

@@ -1,0 +1,48 @@
+#include "sim/crash_injector.hh"
+
+#include <vector>
+
+#include "common/check.hh"
+#include "common/log.hh"
+#include "workloads/workload_db.hh"
+
+namespace morph
+{
+
+CrashReport
+injectCrash(const CrashInjectorOptions &options)
+{
+    if (!options.model.persist.enabled)
+        fatal("crash injector: the model's persist domain is disabled");
+    const WorkloadSpec *spec = findWorkload(options.workload);
+    if (!spec)
+        fatal("crash injector: unknown workload %s",
+              options.workload.c_str());
+
+    // One core, no DRAM timing: the persist domain only observes the
+    // controller, so the cheapest faithful drive is the raw access
+    // stream. Crashing *is* stopping — nothing is drained.
+    SecureMemoryModel model(options.model);
+    auto trace = makeWorkloadTrace(*spec, 0, 1, options.model.memBytes,
+                                   options.seed,
+                                   options.footprintScale);
+
+    std::vector<MemAccess> scratch;
+    for (std::uint64_t i = 0; i < options.cutAccesses; ++i) {
+        const TraceEntry entry = trace->next();
+        scratch.clear();
+        model.onDataAccess(entry.line, entry.type, scratch);
+    }
+
+    const PersistDomain *domain = model.persistDomain();
+    MORPH_CHECK(domain != nullptr);
+
+    CrashReport report;
+    report.cutAccesses = options.cutAccesses;
+    report.persist = domain->stats();
+    report.recovery = domain->recover();
+    report.fingerprint = domain->durableFingerprint();
+    return report;
+}
+
+} // namespace morph

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Crash injector: cut a persistent-memory run at an arbitrary access
+ * index and replay recovery from the durable state.
+ *
+ * The injector streams a workload trace straight through a
+ * SecureMemoryModel with the persist domain enabled — no DRAM timing,
+ * no warm-up — and "crashes" after exactly `cutAccesses` data
+ * accesses: everything volatile (metadata cache, on-chip counters,
+ * the persist domain's pending set as pending) is lost, and recovery
+ * is replayed from what had reached NVM. The resulting CrashReport is
+ * pure data, so a run_pool sweep over cut points and seeds is
+ * deterministic at any --jobs count (pinned by durableFingerprint).
+ *
+ * morphverify's --recovery invariant sweeps this over strict and lazy
+ * policies: every reachable post-crash durable state must reconstruct
+ * a tree whose re-derived root digest matches the persisted root.
+ */
+
+#ifndef MORPH_SIM_CRASH_INJECTOR_HH
+#define MORPH_SIM_CRASH_INJECTOR_HH
+
+#include <string>
+
+#include "secmem/secure_memory_model.hh"
+
+namespace morph
+{
+
+/** One crash experiment: workload, model, and where to cut. */
+struct CrashInjectorOptions
+{
+    std::string workload = "mcf"; ///< workload name (fatal if unknown)
+    SecureModelConfig model;      ///< persist.enabled must be set
+    std::uint64_t seed = 1;       ///< trace seed (sweepSeed output)
+    std::uint64_t cutAccesses = 10'000; ///< data accesses before crash
+    double footprintScale = 1.0;
+};
+
+/** Durable state and recovery outcome at the cut point. */
+struct CrashReport
+{
+    std::uint64_t cutAccesses = 0;
+    PersistStats persist;     ///< persist traffic up to the cut
+    RecoveryReport recovery;  ///< replayed post-crash recovery
+    std::uint64_t fingerprint = 0; ///< durable-state determinism pin
+};
+
+/**
+ * Run @p options.workload through a fresh model and crash it after
+ * @p options.cutAccesses data accesses. Fatal if the workload is
+ * unknown or the model's persist domain is disabled.
+ */
+CrashReport injectCrash(const CrashInjectorOptions &options);
+
+} // namespace morph
+
+#endif // MORPH_SIM_CRASH_INJECTOR_HH

@@ -35,6 +35,15 @@ SimResult::overflowsPerMillion() const
     return double(traffic.totalOverflows()) * 1e6 / double(data);
 }
 
+double
+SimResult::persistsPerWrite() const
+{
+    const std::uint64_t writes = traffic.writes[unsigned(Traffic::Data)];
+    if (writes == 0)
+        return 0.0;
+    return double(persist.linePersists) / double(writes);
+}
+
 namespace
 {
 
@@ -73,11 +82,17 @@ runTraces(const std::string &name,
             while (remaining > 0) {
                 const std::uint64_t chunk = std::min(epoch, remaining);
                 system.run(chunk);
-                scope->epochs().sample(scope->registry(), chunk);
                 remaining -= chunk;
+                // Drain the persist domain before the last sample so
+                // the final barrier's persists land inside the series
+                // (per-epoch deltas must sum exactly to the totals).
+                if (remaining == 0)
+                    system.finishRun();
+                scope->epochs().sample(scope->registry(), chunk);
             }
         } else {
             system.run(options.accessesPerCore);
+            system.finishRun();
         }
     }
 
@@ -90,6 +105,8 @@ runTraces(const std::string &name,
     result.traffic = system.secmem().stats();
     result.metadataCache = system.secmem().metadataCache().stats();
     result.dram = system.dram().totalActivity();
+    if (const PersistDomain *domain = system.secmem().persistDomain())
+        result.persist = domain->stats();
 
     EnergyParams energy_params;
     const DramConfig &dram = config.dram;

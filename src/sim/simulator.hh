@@ -60,6 +60,11 @@ struct SimResult
     CacheStats metadataCache;
     ChannelActivity dram;
     EnergyReport energy;
+    PersistStats persist; ///< zeros unless the persist domain is on
+
+    /** NVM line-persists per data write (strict-vs-lazy cost axis);
+     *  0 when the persist domain is off or nothing was written. */
+    double persistsPerWrite() const;
 
     /** Overflow events per million data accesses. */
     double overflowsPerMillion() const;

@@ -56,6 +56,11 @@ class SimSystem
     /** End warm-up: zero statistics, snapshot per-core baselines. */
     void startMeasurement();
 
+    /** End of run: drain the persist domain's pending mutations so
+     *  persist-traffic counts are complete (no-op without
+     *  persistence). Call before the final statistics sample. */
+    void finishRun() { secmem_.finishRun(); }
+
     /**
      * Attach a morphscope observability context: registers every
      * component's statistics (sim.*, coreN.*, traffic.*, mdcache.*,

@@ -1,5 +1,7 @@
 #include "workloads/trace_file.hh"
 
+#include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -34,17 +36,33 @@ FileTraceSource::parse(std::istream &input, const std::string &name)
             line.erase(hash);
 
         std::istringstream fields(line);
-        std::uint64_t gap;
+        std::string gap_text;
         std::string type;
         std::string addr_hex;
-        if (!(fields >> gap))
+        if (!(fields >> gap_text))
             continue; // blank or comment-only line
+        // The gap parses strictly: a malformed first field (e.g. a
+        // truncated "R 12" record) is a broken trace, not a comment.
+        char *gap_end = nullptr;
+        const std::uint64_t gap =
+            std::strtoull(gap_text.c_str(), &gap_end, 10);
+        if (gap_text[0] == '-' || gap_end == gap_text.c_str() ||
+            *gap_end != '\0') {
+            fatal("trace %s:%zu: bad gap '%s'; expected "
+                  "'<gap> <R|W> <hex-line>'",
+                  name.c_str(), line_number, gap_text.c_str());
+        }
         if (!(fields >> type >> addr_hex) ||
             (type != "R" && type != "W")) {
             fatal("trace %s:%zu: expected '<gap> <R|W> <hex-line>'",
                   name.c_str(), line_number);
         }
         TraceEntry entry;
+        if (gap > ~std::uint32_t(0))
+            warn("trace %s:%zu: gap %llu exceeds 32 bits, clamped to "
+                 "%u",
+                 name.c_str(), line_number,
+                 static_cast<unsigned long long>(gap), ~std::uint32_t(0));
         entry.gap = std::uint32_t(std::min<std::uint64_t>(gap, ~0u));
         entry.type = type == "W" ? AccessType::Write : AccessType::Read;
         char *end = nullptr;

@@ -9,7 +9,11 @@
  *     <gap> <R|W> <line-address-hex>
  *
  * e.g. "37 R 1a2b3c" — 37 non-memory instructions, then a read of
- * cacheline 0x1a2b3c. '#' starts a comment; blank lines are skipped.
+ * cacheline 0x1a2b3c. '#' starts a comment; blank and comment-only
+ * lines are skipped. Any other malformed line — a non-numeric or
+ * negative gap, a bad type, a bad address — is fatal: a truncated
+ * record must never be silently dropped. Gaps wider than 32 bits are
+ * clamped to the uint32 maximum with a warning.
  *
  * FileTraceSource loads the whole trace into memory and replays it
  * cyclically (simulations usually need more events than a captured

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the NVM persist domain: recoverability under both root
+ * policies, write-ahead rollback, the broken-fixture exposure, and
+ * the pure-observer invariant against the volatile model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "secmem/persist_domain.hh"
+#include "sim/simulator.hh"
+
+namespace morph
+{
+namespace
+{
+
+CachelineData
+image(std::uint8_t seed)
+{
+    CachelineData data{};
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = std::uint8_t(seed + i);
+    return data;
+}
+
+PersistConfig
+lazyConfig(std::uint64_t epoch_writes)
+{
+    PersistConfig config;
+    config.enabled = true;
+    config.policy = PersistPolicy::Lazy;
+    config.epochWrites = epoch_writes;
+    return config;
+}
+
+PersistConfig
+strictConfig()
+{
+    PersistConfig config;
+    config.enabled = true;
+    config.policy = PersistPolicy::Strict;
+    return config;
+}
+
+TEST(PersistDomain, StrictAlwaysRecoverable)
+{
+    PersistDomain domain(strictConfig());
+    for (unsigned step = 0; step < 64; ++step) {
+        const unsigned level = step % 3;
+        domain.onEntryUpdate(level, LineAddr(0x1000 + step % 7),
+                             image(std::uint8_t(step)));
+        const RecoveryReport report = domain.recover();
+        EXPECT_TRUE(report.consistent) << "step " << step;
+        EXPECT_EQ(report.rolledBack, 0u);
+        EXPECT_EQ(report.lostWrites, 0u);
+    }
+    // Every mutation persisted its line and re-committed the root.
+    EXPECT_EQ(domain.stats().linePersists, 64u);
+    EXPECT_EQ(domain.stats().rootPersists, 64u);
+    EXPECT_EQ(domain.stats().logAppends, 0u);
+}
+
+TEST(PersistDomain, StrictWritebackIsPersistNoop)
+{
+    PersistDomain domain(strictConfig());
+    domain.onEntryUpdate(0, LineAddr(0x10), image(1));
+    const std::uint64_t persists = domain.stats().linePersists;
+    // The eviction writes a line strict already persisted.
+    domain.onDirtyWriteback(0, LineAddr(0x10), image(1));
+    EXPECT_EQ(domain.stats().linePersists, persists);
+    EXPECT_TRUE(domain.recover().consistent);
+}
+
+TEST(PersistDomain, LazyRecoverableAtArbitraryCuts)
+{
+    // Interleave pends, write-ahead evictions and epoch clocks; the
+    // durable state must be recoverable after every single step.
+    PersistDomain domain(lazyConfig(8));
+    for (unsigned step = 0; step < 200; ++step) {
+        const LineAddr line = LineAddr(0x2000 + step % 11);
+        switch (step % 4) {
+        case 0:
+            domain.onEntryUpdate(0, line, image(std::uint8_t(step)));
+            break;
+        case 1:
+            domain.onEntryUpdate(1, line, image(std::uint8_t(step)));
+            break;
+        case 2:
+            domain.onDirtyWriteback(step % 2, line,
+                                    image(std::uint8_t(step)));
+            break;
+        default:
+            domain.onDataWrite();
+            break;
+        }
+        EXPECT_TRUE(domain.recover().consistent) << "step " << step;
+    }
+    EXPECT_GT(domain.stats().barriers, 0u);
+    EXPECT_GT(domain.stats().logAppends, 0u);
+}
+
+TEST(PersistDomain, LazyRollsBackUnbarrieredWritebacks)
+{
+    PersistDomain domain(lazyConfig(1ull << 30));
+    domain.onEntryUpdate(0, LineAddr(0x30), image(1));
+    domain.onDirtyWriteback(0, LineAddr(0x30), image(1));
+    domain.onEntryUpdate(1, LineAddr(0x31), image(2));
+    domain.onDirtyWriteback(1, LineAddr(0x31), image(2));
+
+    // No barrier has committed the root, so both persists sit behind
+    // undo records and recovery must roll them back to reach the
+    // (empty) committed state.
+    const RecoveryReport report = domain.recover();
+    EXPECT_TRUE(report.consistent);
+    EXPECT_EQ(report.rolledBack, 2u);
+    EXPECT_EQ(report.durableEntries, 0u);
+    EXPECT_GT(report.lostWrites, 0u);
+}
+
+TEST(PersistDomain, EpochBarrierFires)
+{
+    PersistDomain domain(lazyConfig(4));
+    domain.onEntryUpdate(0, LineAddr(0x40), image(7));
+    for (int i = 0; i < 4; ++i)
+        domain.onDataWrite();
+    EXPECT_EQ(domain.stats().barriers, 1u);
+    EXPECT_EQ(domain.stats().barrierFlushes, 1u);
+    EXPECT_EQ(domain.pendingEntries(), 0u);
+    // After the barrier the committed root covers everything: nothing
+    // to roll back, nothing lost.
+    const RecoveryReport report = domain.recover();
+    EXPECT_TRUE(report.consistent);
+    EXPECT_EQ(report.rolledBack, 0u);
+    EXPECT_EQ(report.lostWrites, 0u);
+}
+
+TEST(PersistDomain, FinishDrainsPending)
+{
+    PersistDomain domain(lazyConfig(1ull << 30));
+    domain.onEntryUpdate(0, LineAddr(0x50), image(3));
+    domain.onDirtyWriteback(1, LineAddr(0x51), image(4));
+    EXPECT_EQ(domain.pendingEntries(), 1u);
+
+    domain.finish();
+    EXPECT_EQ(domain.pendingEntries(), 0u);
+    EXPECT_EQ(domain.stats().barriers, 1u);
+    const RecoveryReport report = domain.recover();
+    EXPECT_TRUE(report.consistent);
+    EXPECT_EQ(report.rolledBack, 0u);
+    EXPECT_EQ(report.lostWrites, 0u);
+    EXPECT_EQ(report.durableEntries, 2u);
+}
+
+TEST(PersistDomain, BrokenStrictTreePersistCaught)
+{
+    PersistConfig config = strictConfig();
+    config.brokenSkipTreePersist = true;
+    PersistDomain domain(config);
+    // Level-0 persists stay correct...
+    domain.onEntryUpdate(0, LineAddr(0x60), image(1));
+    EXPECT_TRUE(domain.recover().consistent);
+    // ...but the first tree-level mutation skips its root obligation
+    // and the persisted root no longer covers the durable image.
+    domain.onEntryUpdate(1, LineAddr(0x61), image(2));
+    EXPECT_FALSE(domain.recover().consistent);
+}
+
+TEST(PersistDomain, BrokenLazyTreePersistCaught)
+{
+    PersistConfig config = lazyConfig(1ull << 30);
+    config.brokenSkipTreePersist = true;
+    PersistDomain domain(config);
+    domain.onEntryUpdate(1, LineAddr(0x70), image(5));
+    // The broken writeback persists the line without its write-ahead
+    // undo record: recovery cannot roll it back to the committed
+    // state and the digests diverge.
+    domain.onDirtyWriteback(1, LineAddr(0x70), image(5));
+    EXPECT_FALSE(domain.recover().consistent);
+}
+
+TEST(PersistDomain, FingerprintTracksDurableState)
+{
+    PersistDomain a(lazyConfig(8));
+    PersistDomain b(lazyConfig(8));
+    EXPECT_EQ(a.durableFingerprint(), b.durableFingerprint());
+
+    a.onEntryUpdate(0, LineAddr(0x80), image(1));
+    EXPECT_NE(a.durableFingerprint(), b.durableFingerprint());
+
+    b.onEntryUpdate(0, LineAddr(0x80), image(1));
+    EXPECT_EQ(a.durableFingerprint(), b.durableFingerprint());
+}
+
+TEST(PersistDomain, ObserverDoesNotPerturbSimulation)
+{
+    // Enabling the persist domain must not move a single volatile
+    // number: same cycles, traffic and cache behaviour, only the
+    // persist counters differ.
+    SimOptions options;
+    options.accessesPerCore = 4'000;
+    options.warmupPerCore = 1'000;
+    options.timing = true;
+
+    SecureModelConfig plain;
+    plain.tree = TreeConfig::morph();
+
+    SecureModelConfig persisted = plain;
+    persisted.persist.enabled = true;
+    persisted.persist.policy = PersistPolicy::Lazy;
+    persisted.persist.epochWrites = 64;
+
+    const SimResult base = runByName("mcf", plain, options);
+    const SimResult nvm = runByName("mcf", persisted, options);
+
+    EXPECT_EQ(base.cycles, nvm.cycles);
+    EXPECT_EQ(base.ipc, nvm.ipc);
+    EXPECT_EQ(base.dram.reads, nvm.dram.reads);
+    EXPECT_EQ(base.dram.writes, nvm.dram.writes);
+    for (unsigned t = 0; t < numTrafficCategories; ++t) {
+        EXPECT_EQ(base.traffic.reads[t], nvm.traffic.reads[t]);
+        EXPECT_EQ(base.traffic.writes[t], nvm.traffic.writes[t]);
+    }
+    EXPECT_EQ(base.persist.linePersists, 0u);
+    EXPECT_GT(nvm.persist.linePersists, 0u);
+}
+
+} // namespace
+} // namespace morph

@@ -61,6 +61,44 @@ TEST(TraceFileDeath, RejectsBadType)
                 ::testing::ExitedWithCode(1), "expected");
 }
 
+TEST(TraceFileDeath, RejectsBadGap)
+{
+    // A truncated record ("R 12") must die, not silently drop: the
+    // first field is not a number, so the line is a broken trace.
+    std::istringstream input("10 R 1a\n"
+                             "R 12\n");
+    EXPECT_EXIT(FileTraceSource(input, "bad"),
+                ::testing::ExitedWithCode(1), "bad gap 'R'");
+}
+
+TEST(TraceFileDeath, RejectsNegativeGap)
+{
+    // strtoull would happily wrap "-5" to a huge value; the parser
+    // must reject the sign instead.
+    std::istringstream input("-5 R 1a\n");
+    EXPECT_EXIT(FileTraceSource(input, "bad"),
+                ::testing::ExitedWithCode(1), "bad gap '-5'");
+}
+
+TEST(TraceFileDeath, RejectsTrailingGarbageInGap)
+{
+    std::istringstream input("12x R 1a\n");
+    EXPECT_EXIT(FileTraceSource(input, "bad"),
+                ::testing::ExitedWithCode(1), "bad gap '12x'");
+}
+
+TEST(TraceFile, ClampsOversizedGapWithWarning)
+{
+    // Gaps wider than 32 bits clamp to the field's maximum; the
+    // parser warns but the trace stays usable.
+    std::istringstream input("99999999999 R 1a\n");
+    ::testing::internal::CaptureStderr();
+    FileTraceSource trace(input, "inline");
+    const std::string log = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(log.find("exceeds 32 bits"), std::string::npos);
+    EXPECT_EQ(trace.next().gap, ~std::uint32_t(0));
+}
+
 TEST(TraceFileDeath, RejectsBadAddress)
 {
     std::istringstream input("1 R zz!\n");

@@ -69,14 +69,18 @@ struct BenchCase
 };
 
 /** Per-push matrix: one random, one streaming, one mix — the three
- *  trace shapes — against the paper's two headline configs. */
+ *  trace shapes — against the paper's two headline configs, plus the
+ *  two NVM persist policies on the random workload so persist-traffic
+ *  drift is gated per push. */
 constexpr BenchCase quickMatrix[] = {
     {"mcf", "morph"},     {"mcf", "sc64"},
     {"libquantum", "morph"}, {"libquantum", "sc64"},
     {"mix1", "morph"},    {"mix1", "sc64"},
+    {"mcf", "morph-nvm-strict"}, {"mcf", "morph-nvm-lazy"},
 };
 
-/** Nightly matrix: wider workload spread, all tree configs. */
+/** Nightly matrix: wider workload spread, all tree configs, and the
+ *  NVM persist policies on both trace shapes. */
 constexpr BenchCase fullMatrix[] = {
     {"mcf", "morph"},     {"mcf", "sc64"},     {"mcf", "vault"},
     {"omnetpp", "morph"}, {"omnetpp", "sc64"}, {"omnetpp", "vault"},
@@ -85,20 +89,41 @@ constexpr BenchCase fullMatrix[] = {
     {"lbm", "vault"},     {"mix1", "morph"},   {"mix1", "sc64"},
     {"mix1", "vault"},    {"bc-twit", "morph"}, {"bc-twit", "sc64"},
     {"bc-twit", "vault"},
+    {"mcf", "morph-nvm-strict"},        {"mcf", "morph-nvm-lazy"},
+    {"libquantum", "morph-nvm-strict"}, {"libquantum", "morph-nvm-lazy"},
 };
 
-TreeConfig
-treeByName(const std::string &name)
+/**
+ * Resolve a matrix config name to a full model configuration. Plain
+ * names select a tree layout; the "morph-nvm-*" names additionally
+ * enable the persist domain (a pure observer — IPC and traffic match
+ * the plain "morph" cells; only the persist counters differ).
+ */
+SecureModelConfig
+modelByName(const std::string &name)
 {
-    if (name == "sc64")
-        return TreeConfig::sc64();
-    if (name == "vault")
-        return TreeConfig::vault();
-    if (name == "morph")
-        return TreeConfig::morph();
-    std::fprintf(stderr, "morphbench: unknown config '%s'\n",
-                 name.c_str());
-    std::exit(2);
+    SecureModelConfig secmem;
+    if (name == "sc64") {
+        secmem.tree = TreeConfig::sc64();
+    } else if (name == "vault") {
+        secmem.tree = TreeConfig::vault();
+    } else if (name == "morph") {
+        secmem.tree = TreeConfig::morph();
+    } else if (name == "morph-nvm-strict") {
+        secmem.tree = TreeConfig::morph();
+        secmem.persist.enabled = true;
+        secmem.persist.policy = PersistPolicy::Strict;
+    } else if (name == "morph-nvm-lazy") {
+        secmem.tree = TreeConfig::morph();
+        secmem.persist.enabled = true;
+        secmem.persist.policy = PersistPolicy::Lazy;
+        secmem.persist.epochWrites = 4096;
+    } else {
+        std::fprintf(stderr, "morphbench: unknown config '%s'\n",
+                     name.c_str());
+        std::exit(2);
+    }
+    return secmem;
 }
 
 /** Default one-directional kernel-gate threshold (see file header). */
@@ -115,10 +140,10 @@ runMatrix(bool quick, const std::string &out_path,
                                   ? std::size(quickMatrix)
                                   : std::size(fullMatrix);
 
-    // Validate config names up front: treeByName exits on an unknown
+    // Validate config names up front: modelByName exits on an unknown
     // name, and that must not happen from a pool worker.
     for (std::size_t i = 0; i < count; ++i)
-        (void)treeByName(cases[i].config);
+        (void)modelByName(cases[i].config);
 
     // Every cell is an independent simulation; render each one's JSON
     // fragment on the pool, then join in matrix order so the document
@@ -140,8 +165,7 @@ runMatrix(bool quick, const std::string &out_path,
                              ++started, count, c.workload, c.config);
             }
 
-            SecureModelConfig secmem;
-            secmem.tree = treeByName(c.config);
+            const SecureModelConfig secmem = modelByName(c.config);
             SimOptions options;
             options.accessesPerCore = accesses;
             options.warmupPerCore = warmup;
@@ -159,7 +183,9 @@ runMatrix(bool quick, const std::string &out_path,
                  << ", \"dram_reads\": " << r.dram.reads
                  << ", \"dram_writes\": " << r.dram.writes
                  << ", \"mdcache_hit_rate\": "
-                 << jsonNumber(r.metadataCache.hitRate()) << "}";
+                 << jsonNumber(r.metadataCache.hitRate())
+                 << ", \"persists_per_write\": "
+                 << jsonNumber(r.persistsPerWrite()) << "}";
             return cell.str();
         });
     }
@@ -359,7 +385,8 @@ compare(const std::string &base_path, const std::string &new_path,
     // The metrics gated by the drift check. Lower-is-better vs
     // higher-is-better doesn't matter: drift in either direction
     // means the model changed and the baseline must be re-blessed.
-    static const char *metrics[] = {"ipc", "bloat"};
+    static const char *metrics[] = {"ipc", "bloat",
+                                    "persists_per_write"};
 
     int failures = 0;
     for (const JsonValue &base_cell : base_cells->elements()) {
@@ -377,6 +404,12 @@ compare(const std::string &base_path, const std::string &new_path,
         }
         for (const char *metric : metrics) {
             const JsonValue *bv = base_cell.find(metric);
+            // A metric absent from the baseline cell is a pre-metric
+            // document (same rule as baselines without "kernels"):
+            // skip it rather than fail. A baseline WITH the metric
+            // still requires the new document to carry it.
+            if (!bv)
+                continue;
             const JsonValue *nv = new_cell->find(metric);
             const double b = bv ? bv->asNumber() : std::nan("");
             const double n = nv ? nv->asNumber() : std::nan("");
@@ -423,8 +456,8 @@ usage()
 {
     std::printf(
         "usage: morphbench [options]\n"
-        "  --quick             per-push matrix (6 cells; default is\n"
-        "                      the 18-cell nightly matrix)\n"
+        "  --quick             per-push matrix (8 cells; default is\n"
+        "                      the 22-cell nightly matrix)\n"
         "  --out FILE          output path (default BENCH_<rev>.json)\n"
         "  --rev NAME          revision label (default 'local')\n"
         "  --accesses N        measured accesses per core\n"

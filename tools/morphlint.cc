@@ -673,7 +673,8 @@ checkIniFile(Lint &lint, const std::string &path)
         "system.warmup", "system.scale", "system.seed",
         "system.timing", "controller.separate_macs",
         "controller.spec_verify", "controller.ctr_prefetch",
-        "controller.demote_enc", "dram.refresh",
+        "controller.demote_enc", "persist.mode",
+        "persist.epoch_writes", "dram.refresh",
         "dram.write_queueing", "dram.channels", "dram.ranks",
         "lint.zcc.buckets", "lint.geometry.config",
         "lint.geometry.mem_gb", "lint.geometry.tree_levels",
@@ -723,6 +724,18 @@ checkIniFile(Lint &lint, const std::string &path)
     lint.expectTrue(where, "warmup is non-negative", warmup >= 0);
     lint.expectTrue(where, "warmup does not exceed accesses",
                     warmup <= accesses);
+
+    if (ini.has("persist.mode")) {
+        const std::string mode = ini.getString("persist.mode");
+        lint.expectTrue(where,
+                        "persist.mode is strict, lazy or off",
+                        mode == "strict" || mode == "lazy" ||
+                            mode == "off");
+    }
+    const std::int64_t epoch_writes =
+        ini.getInt("persist.epoch_writes", 4096);
+    lint.expectTrue(where, "persist.epoch_writes is positive",
+                    epoch_writes >= 1);
 
     const std::int64_t channels = ini.getInt("dram.channels", 2);
     const std::int64_t ranks = ini.getInt("dram.ranks", 2);

@@ -74,6 +74,10 @@ usage()
         "  --seed N            trace RNG seed\n"
         "  --timing 0|1        cycle timing on/off (default 1)\n"
         "  --separate-macs     model separate MAC storage\n"
+        "  --persist MODE      NVM persistence model: strict | lazy |\n"
+        "                      off (default off); see SIMULATOR.md\n"
+        "  --persist-epoch N   lazy mode: data writes per epoch\n"
+        "                      barrier (default 4096)\n"
         "  --spec-verify       speculative verification\n"
         "  --ctr-prefetch      next-entry counter prefetch\n"
         "  --demote-enc        type-aware cache insertion\n"
@@ -117,6 +121,24 @@ configByName(const std::string &name, TreeConfig &out)
         out = TreeConfig::bonsaiMacTree();
     else
         return false;
+    return true;
+}
+
+/** Resolve a persistence mode name; false if unknown. */
+bool
+persistByName(const std::string &mode, PersistConfig &out)
+{
+    if (mode == "off") {
+        out.enabled = false;
+    } else if (mode == "strict") {
+        out.enabled = true;
+        out.policy = PersistPolicy::Strict;
+    } else if (mode == "lazy") {
+        out.enabled = true;
+        out.policy = PersistPolicy::Lazy;
+    } else {
+        return false;
+    }
     return true;
 }
 
@@ -179,7 +201,8 @@ applyConfigFile(const std::string &path, std::string &workload,
         "system.warmup", "system.scale", "system.seed",
         "system.timing", "controller.separate_macs",
         "controller.spec_verify", "controller.ctr_prefetch",
-        "controller.demote_enc", "dram.refresh",
+        "controller.demote_enc", "persist.mode",
+        "persist.epoch_writes", "dram.refresh",
         "dram.write_queueing", "dram.channels", "dram.ranks",
     };
     for (const std::string &key : ini.keys()) {
@@ -223,6 +246,27 @@ applyConfigFile(const std::string &path, std::string &workload,
         ini.getBool("controller.ctr_prefetch", secmem.counterPrefetch);
     secmem.demoteEncCounters =
         ini.getBool("controller.demote_enc", secmem.demoteEncCounters);
+    const std::string persist_mode =
+        ini.getString("persist.mode", std::string());
+    if (!persist_mode.empty() &&
+        !persistByName(persist_mode, secmem.persist)) {
+        std::fprintf(stderr,
+                     "morphsim: config %s: persist.mode must be "
+                     "strict, lazy or off (got '%s')\n",
+                     path.c_str(), persist_mode.c_str());
+        std::exit(exitBadConfig);
+    }
+    const std::int64_t epoch_writes =
+        ini.getInt("persist.epoch_writes",
+                   std::int64_t(secmem.persist.epochWrites));
+    if (epoch_writes < 1) {
+        std::fprintf(stderr,
+                     "morphsim: config %s: persist.epoch_writes must "
+                     "be >= 1\n",
+                     path.c_str());
+        std::exit(exitBadConfig);
+    }
+    secmem.persist.epochWrites = std::uint64_t(epoch_writes);
     options.dram.refresh =
         ini.getBool("dram.refresh", options.dram.refresh);
     options.dram.writeQueueing =
@@ -461,6 +505,15 @@ main(int argc, char **argv)
             options.timing = std::atoi(value()) != 0;
         } else if (arg == "--separate-macs") {
             secmem.inlineMacs = false;
+        } else if (arg == "--persist") {
+            if (!persistByName(value(), secmem.persist))
+                badFlag("option %s needs strict, lazy or off",
+                        arg.c_str());
+        } else if (arg == "--persist-epoch") {
+            const std::uint64_t v = parseCount(arg, value());
+            if (v == 0)
+                badFlag("option %s needs a value >= 1", arg.c_str());
+            secmem.persist.epochWrites = v;
         } else if (arg == "--spec-verify") {
             secmem.speculativeVerification = true;
         } else if (arg == "--ctr-prefetch") {

@@ -33,10 +33,19 @@
  * FIFO frontier, ascending slots), so a reported violation is exactly
  * reproducible.
  *
+ * --recovery adds the crash-consistency invariant: a sweep of crash
+ * injections (src/sim/crash_injector.hh) cuts persistent-memory runs
+ * at seed-derived access indexes under both the strict and the lazy
+ * root-update policy, and checks that every reachable post-crash
+ * durable state reconstructs a consistent tree — the re-derived root
+ * digest of the recovered lines must equal the persisted root.
+ *
  * Deliberately broken model variants (--broken) re-create the bug
  * classes the checker exists to catch — an off-by-one rebase, an
- * unreported reset, a stale payload encoding, a wrong width bucket —
- * and are wired as WILL_FAIL CTest cases proving the checker fires.
+ * unreported reset, a stale payload encoding, a wrong width bucket,
+ * and a persistence bug (unpersisted-tree-write: tree-level lines
+ * skip their write-ahead obligation) — and are wired as WILL_FAIL
+ * CTest cases proving the checker fires.
  *
  * --jobs N checks models in parallel on a RunPool, one model per
  * shard: each model keeps its whole BFS (visited set, frontier,
@@ -72,6 +81,7 @@
 #include "counters/transition_model.hh"
 #include "counters/zcc_codec.hh"
 #include "crypto/siphash.hh"
+#include "sim/crash_injector.hh"
 
 namespace
 {
@@ -561,6 +571,117 @@ makeBrokenModel(const std::string &name)
 }
 
 // ---------------------------------------------------------------------
+// Recoverability invariant (--recovery): seed-swept crash injections
+// under the strict and lazy persist policies. Every cut point is a
+// reachable post-crash durable state; each must reconstruct a tree
+// whose re-derived root digest equals the persisted root.
+// ---------------------------------------------------------------------
+
+struct RecoveryCase
+{
+    PersistPolicy policy;
+    bool broken; ///< unpersisted-tree-write fixture
+    std::uint64_t cut;
+    std::uint64_t seed;
+};
+
+const char *
+policyName(PersistPolicy policy)
+{
+    return policy == PersistPolicy::Strict ? "strict" : "lazy";
+}
+
+SecureModelConfig
+recoveryModelConfig(PersistPolicy policy, bool broken)
+{
+    SecureModelConfig config;
+    config.tree = TreeConfig::morph();
+    // A tiny metadata cache forces tree-level dirty writebacks — the
+    // paths persistence bugs hide in — within a short run.
+    config.metadataCacheBytes = 4 * 1024;
+    config.persist.enabled = true;
+    config.persist.policy = policy;
+    config.persist.brokenSkipTreePersist = broken;
+    // The broken fixture must not be masked by an epoch barrier (a
+    // barrier flushes everything and re-commits the root, making the
+    // durable state consistent again): push barriers past run end.
+    // The clean sweep instead uses a short epoch so barrier paths are
+    // reached within the cut range (mcf is ~3% writes).
+    config.persist.epochWrites = broken ? (1ull << 40) : 256;
+    return config;
+}
+
+/** Seed-derived cut points: deterministic, spread over the run. */
+std::vector<RecoveryCase>
+recoveryCases(bool broken, std::uint64_t cuts,
+              std::uint64_t max_accesses)
+{
+    std::vector<RecoveryCase> cases;
+    for (const PersistPolicy policy :
+         {PersistPolicy::Strict, PersistPolicy::Lazy}) {
+        for (std::uint64_t i = 0; i < cuts; ++i) {
+            const std::string key = std::string("recovery/") +
+                                    (broken ? "broken/" : "") +
+                                    policyName(policy) + "/" +
+                                    std::to_string(i);
+            RecoveryCase c;
+            c.policy = policy;
+            c.broken = broken;
+            c.cut = 1 + sweepSeed(key, 17) % max_accesses;
+            c.seed = sweepSeed(key + "/trace", 29);
+            cases.push_back(c);
+        }
+    }
+    return cases;
+}
+
+ModelReport
+runRecoveryCase(const RecoveryCase &c, bool quiet)
+{
+    MORPH_PROF_SCOPE("verify.recovery");
+    CrashInjectorOptions options;
+    options.workload = "mcf";
+    options.model = recoveryModelConfig(c.policy, c.broken);
+    options.seed = c.seed;
+    options.cutAccesses = c.cut;
+    const CrashReport report = injectCrash(options);
+
+    ModelReport out;
+    const std::string label = std::string("recovery:") +
+                              (c.broken ? "broken:" : "") +
+                              policyName(c.policy);
+    if (!report.recovery.consistent) {
+        char line[512];
+        std::snprintf(
+            line, sizeof(line),
+            "morphverify: VIOLATION [%s] cut=%" PRIu64 " seed=%" PRIu64
+            ": recovered digest %016" PRIx64
+            " != persisted root %016" PRIx64 " (durable=%" PRIu64
+            " rolled_back=%" PRIu64 ")\n",
+            label.c_str(), c.cut, c.seed,
+            report.recovery.recoveredDigest,
+            report.recovery.persistedRoot,
+            report.recovery.durableEntries, report.recovery.rolledBack);
+        out.violations = line;
+        out.status = 1;
+    }
+    if (!quiet) {
+        char line[512];
+        std::snprintf(
+            line, sizeof(line),
+            "morphverify: %-16s cut=%-6" PRIu64 " persists=%-6" PRIu64
+            " rolled_back=%-4" PRIu64 " lost=%-4" PRIu64
+            " fp=%016" PRIx64 " %s\n",
+            label.c_str(), c.cut, report.persist.linePersists,
+            report.recovery.rolledBack, report.recovery.lostWrites,
+            report.fingerprint,
+            report.recovery.consistent ? "consistent" : "INCONSISTENT");
+        out.summary = line;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------
 
@@ -573,8 +694,18 @@ usage()
         "                  zcc mcr sc64 sc64r morph morph-sb\n"
         "  --broken NAME   run a deliberately broken model variant\n"
         "                  (rebase-off-by-one, unreported-reset,\n"
-        "                  stale-encoding, wrong-bucket); must report\n"
+        "                  stale-encoding, wrong-bucket,\n"
+        "                  unpersisted-tree-write); must report\n"
         "                  violations, used as WILL_FAIL fixtures\n"
+        "  --recovery      sweep crash injections under the strict and\n"
+        "                  lazy persist policies and check that every\n"
+        "                  post-crash durable state recovers to a\n"
+        "                  consistent tree\n"
+        "  --recovery-cuts N\n"
+        "                  crash cut points per policy (default 8)\n"
+        "  --recovery-accesses N\n"
+        "                  cut points are drawn from [1, N] data\n"
+        "                  accesses (default 20000)\n"
         "  --budget N      max canonical states per model "
         "(default 200000)\n"
         "  --jobs N        check models in parallel (default:\n"
@@ -610,6 +741,10 @@ main(int argc, char **argv)
     std::uint64_t budget = 200000;
     unsigned jobs = 0; // 0 = RunPool::hardwareJobs()
     bool quiet = false;
+    bool recovery = false;
+    bool broken_recovery = false;
+    std::uint64_t recovery_cuts = 8;
+    std::uint64_t recovery_accesses = 20000;
     std::string prof_out;
 
     for (int i = 1; i < argc; ++i) {
@@ -617,7 +752,19 @@ main(int argc, char **argv)
         if (arg == "--format" && i + 1 < argc) {
             formats.push_back(argv[++i]);
         } else if (arg == "--broken" && i + 1 < argc) {
-            broken.push_back(argv[++i]);
+            const std::string name = argv[++i];
+            // The persistence fixture is a crash-injection sweep, not
+            // a transition model: route it to the recovery machinery.
+            if (name == "unpersisted-tree-write")
+                broken_recovery = true;
+            else
+                broken.push_back(name);
+        } else if (arg == "--recovery") {
+            recovery = true;
+        } else if (arg == "--recovery-cuts" && i + 1 < argc) {
+            recovery_cuts = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--recovery-accesses" && i + 1 < argc) {
+            recovery_accesses = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--budget" && i + 1 < argc) {
             budget = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--jobs" && i + 1 < argc) {
@@ -649,7 +796,13 @@ main(int argc, char **argv)
         std::fprintf(stderr, "morphverify: --budget must be positive\n");
         return 2;
     }
-    if (formats.empty() && broken.empty())
+    if (recovery_cuts == 0 || recovery_accesses == 0) {
+        std::fprintf(stderr, "morphverify: --recovery-cuts and "
+                             "--recovery-accesses must be positive\n");
+        return 2;
+    }
+    if (formats.empty() && broken.empty() && !recovery &&
+        !broken_recovery)
         formats = transitionModelNames();
     if (formats.size() == 1 && formats[0] == "all")
         formats = transitionModelNames();
@@ -683,6 +836,21 @@ main(int argc, char **argv)
     if (profiling)
         profEnable();
 
+    // Recovery sweep cases ride the same engine: one shard per crash
+    // injection, results collected in case order so the report is
+    // byte-identical at any --jobs level.
+    std::vector<RecoveryCase> crashes;
+    if (recovery) {
+        const auto cases =
+            recoveryCases(false, recovery_cuts, recovery_accesses);
+        crashes.insert(crashes.end(), cases.begin(), cases.end());
+    }
+    if (broken_recovery) {
+        const auto cases =
+            recoveryCases(true, recovery_cuts, recovery_accesses);
+        crashes.insert(crashes.end(), cases.begin(), cases.end());
+    }
+
     // One shard per model: each keeps its whole BFS (visited set,
     // frontier, budget), so results match the serial run exactly.
     // Reports flush in command-line order below.
@@ -690,9 +858,13 @@ main(int argc, char **argv)
     {
         SweepEngine engine(jobs);
         MORPH_PROF_SCOPE("verify.sweep");
-        reports = engine.map<ModelReport>(models.size(), [&](std::size_t i) {
-            return runModel(*models[i], budget, quiet);
-        });
+        const std::size_t n_models = models.size();
+        reports = engine.map<ModelReport>(
+            n_models + crashes.size(), [&](std::size_t i) {
+                if (i < n_models)
+                    return runModel(*models[i], budget, quiet);
+                return runRecoveryCase(crashes[i - n_models], quiet);
+            });
     }
 
     int status = 0;
